@@ -1,0 +1,26 @@
+"""Benchmark-harness helpers.
+
+Each benchmark regenerates one of the paper's tables or figures with
+``pytest-benchmark`` (single-round pedantic timing — these are
+experiment drivers, not microbenchmarks) and asserts the paper's
+qualitative claims: who wins, by roughly what factor, and where the
+crossovers fall.  Absolute numbers come from the calibrated simulator,
+so they track the paper's shape rather than its exact values;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time one full run of an experiment driver and return its
+    result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

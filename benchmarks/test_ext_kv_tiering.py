@@ -1,0 +1,38 @@
+"""Extension: recency-window KV tiering — a negative result that
+quantifies why §6 keeps the KV cache in DDR."""
+
+import pytest
+
+from repro.experiments import ext_kv_tiering
+
+
+def test_ext_kv_tiering(run_once):
+    result = run_once(ext_kv_tiering.run)
+    print()
+    print(result.render())
+
+    rows = sorted(result.rows, key=lambda row: row["kv_cxl_fraction"])
+    throughputs = [row["relative_throughput"] for row in rows]
+    ddr = [row["ddr_gb"] for row in rows]
+
+    # Spilling more KV to CXL monotonically frees DDR and
+    # monotonically costs throughput (Observation-2's mechanism).
+    assert ddr == sorted(ddr, reverse=True)
+    assert all(b <= a + 1e-9 for a, b in zip(throughputs,
+                                             throughputs[1:]))
+
+    # Fraction 0 is the §6 baseline; fraction 1 is the oblivious
+    # placement the paper warns against — it must hurt badly.
+    assert throughputs[0] == pytest.approx(1.0)
+    assert throughputs[-1] < 0.4
+
+    # The punchline: decode attention touches the WHOLE history every
+    # token, so there is no cold data to hide — even a 10 % spill
+    # costs a double-digit throughput slice.  §6's KV-in-DDR rule is
+    # not conservative, it is load-bearing.
+    ten_percent = next(row for row in rows
+                       if row["kv_cxl_fraction"] == 0.1)
+    assert ten_percent["relative_throughput"] < 0.9
+    assert ten_percent["relative_throughput"] > 0.5
+    # DDR freed tracks the spilled fraction.
+    assert ten_percent["ddr_gb"] < rows[0]["ddr_gb"]

@@ -1,0 +1,31 @@
+"""Extension: multi-GPU LIA scaling (§8's sketch, quantified)."""
+
+from repro.experiments import ext_multigpu
+
+
+def test_ext_multigpu_scaling(run_once):
+    result = run_once(ext_multigpu.run)
+    print()
+    print(result.render())
+
+    def series(fabric, column):
+        rows = sorted(result.select(fabric=fabric),
+                      key=lambda row: row["n_gpus"])
+        return [row[column] for row in rows]
+
+    # Throughput grows with GPU count on both fabrics, sub-linearly.
+    for fabric in ("nvlink3", "pcie4"):
+        tputs = series(fabric, "tokens_per_s")
+        assert tputs == sorted(tputs)
+        assert tputs[-1] < 8.5 * tputs[0]
+
+    # §8: PCIe peering erodes the scaling vs NVLink at every width.
+    for nv, pcie in zip(series("nvlink3", "tokens_per_s")[1:],
+                        series("pcie4", "tokens_per_s")[1:]):
+        assert pcie <= nv
+
+    # §8: GPUs take computation more often as the GPU side scales —
+    # the decode full-CPU threshold falls monotonically.
+    thresholds = series("nvlink3", "decode_threshold_b")
+    assert thresholds == sorted(thresholds, reverse=True)
+    assert thresholds[-1] < thresholds[0]

@@ -1,0 +1,26 @@
+"""Extension: W8A16 weight quantization under LIA (not a paper
+figure; see the driver's docstring)."""
+
+from repro.experiments import ext_quantization
+
+
+def test_ext_int8_weights(run_once):
+    result = run_once(ext_quantization.run)
+    print()
+    print(result.render())
+
+    # Online decoding streams weights from DDR: halving their bytes
+    # approaches a 2x speedup.
+    b1 = result.value("speedup", batch_size=1)
+    assert 1.4 <= b1 <= 2.1
+
+    # Large-batch runs are compute-/KV-bound, so the gain shrinks but
+    # never reverses.
+    b900 = result.value("speedup", batch_size=900)
+    assert 1.0 <= b900 <= b1
+
+    # Host footprint shrinks and the feasible batch grows.
+    assert (result.value("int8_host_gb", batch_size=64)
+            < result.value("bf16_host_gb", batch_size=64))
+    max_row = result.select(batch_size="max-feasible")[0]
+    assert max_row["int8_latency_s"] > max_row["bf16_latency_s"]

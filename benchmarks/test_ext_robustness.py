@@ -1,0 +1,26 @@
+"""Extension: robustness of the policy optimizer to profile error."""
+
+import pytest
+
+from repro.experiments import ext_robustness
+
+
+def test_ext_robustness(run_once):
+    result = run_once(ext_robustness.run)
+    print()
+    print(result.render())
+
+    penalties = [row["penalty"] for row in result.rows]
+    # Executing a mis-planned policy can never beat the true optimum.
+    assert all(penalty >= 1.0 - 1e-9 for penalty in penalties)
+    # A perfect profile has zero penalty.
+    exact = [row["penalty"] for row in result.rows
+             if row["profile_error"] == 1.0]
+    assert all(penalty == pytest.approx(1.0) for penalty in exact)
+    # The 2^6 policy space is forgiving: a ±30 % profile error costs
+    # at most a modest factor (most errors don't cross a decision
+    # boundary) — the justification for driving LIA with an analytic
+    # model whose stated error is ~12 %.
+    assert max(penalties) <= 2.0
+    median = sorted(penalties)[len(penalties) // 2]
+    assert median <= 1.1

@@ -1,0 +1,36 @@
+"""Extension: §8's bandwidth-vs-CPU-compute design claim."""
+
+from repro.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(run_once):
+    result = run_once(ext_sensitivity.run)
+    print()
+    print(result.render())
+
+    def series(dimension, column):
+        rows = sorted(result.select(dimension=dimension),
+                      key=lambda row: row["factor"])
+        return {row["factor"]: row[column] for row in rows}
+
+    bw_threshold = series("link-bandwidth", "decode_threshold_b")
+    cpu_threshold = series("cpu-compute", "decode_threshold_b")
+    # More link bandwidth pulls work toward the GPU (threshold falls);
+    # more CPU compute pushes it toward the CPU (threshold rises).
+    assert bw_threshold[8.0] < bw_threshold[0.5]
+    assert cpu_threshold[8.0] > cpu_threshold[0.5]
+
+    # §8's claim at the offline point: scaling the link 8x buys more
+    # throughput than scaling CPU compute 8x in the current regime.
+    bw_tput = series("link-bandwidth", "offline_tokens_per_s")
+    cpu_tput = series("cpu-compute", "offline_tokens_per_s")
+    bw_gain = bw_tput[8.0] / bw_tput[1.0]
+    cpu_gain = cpu_tput[8.0] / cpu_tput[1.0]
+    assert bw_gain > cpu_gain
+
+    # Online (B=1, CPU-bound decode): latency must never get worse as
+    # either resource improves.
+    for dimension in ("link-bandwidth", "cpu-compute"):
+        latencies = series(dimension, "online_latency_s")
+        ordered = [latencies[f] for f in sorted(latencies)]
+        assert all(b <= a * 1.02 for a, b in zip(ordered, ordered[1:]))

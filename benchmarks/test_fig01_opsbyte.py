@@ -1,0 +1,22 @@
+"""Figure 1: ops/byte heatmap of OPT-175B (L=512, B=180)."""
+
+from repro.experiments import fig01_opsbyte
+
+
+def test_fig01_heatmap(run_once):
+    result = run_once(fig01_opsbyte.run)
+    print()
+    print(result.render())
+
+    values = {(row["stage"], row["sublayer"]): row["ops_per_byte"]
+              for row in result.rows}
+    # The paper: ops/byte ranges from ~1 to tens of thousands.
+    assert min(values.values()) < 1.05
+    assert max(values.values()) > 10_000
+    # Decode attention scoring is the memory-bound extreme; prefill
+    # FC1 the compute-bound extreme (§4's microbenchmark choices).
+    assert values[("decode", "ATTENTION_SCORE")] < 1.05
+    assert values[("prefill", "FC1")] == max(values.values())
+    # Prefill intensities exceed their decode counterparts everywhere.
+    for sub in ("QKV_MAPPING", "FC1", "FC2", "OUTPUT_PROJECTION"):
+        assert values[("prefill", sub)] > values[("decode", sub)]

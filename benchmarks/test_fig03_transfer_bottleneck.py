@@ -1,0 +1,42 @@
+"""Figure 3: CPU-GPU transfers dominate memory-offloading latency."""
+
+from repro.experiments import fig03_transfer_bottleneck
+
+
+def test_fig03_transfer_dominance(run_once):
+    result = run_once(fig03_transfer_bottleneck.run)
+    print()
+    print(result.render())
+
+    # Insight-1 at B=1: parameter transfers contribute > 95 % of both
+    # stages' latency at short L (paper: > 98 %).
+    short_prefill = result.value("transfer_share", stage="prefill",
+                                 batch_size=1, input_len=64)
+    short_decode = result.value("transfer_share", stage="decode",
+                                batch_size=1, input_len=64)
+    assert short_prefill > 0.95
+    assert short_decode > 0.95
+
+    # At long L the prefill share drops (compute grows with L) while
+    # decode's stays high (paper: 87 % vs ~ constant).
+    long_prefill = result.value("transfer_share", stage="prefill",
+                                batch_size=1, input_len=1024)
+    long_decode = result.value("transfer_share", stage="decode",
+                               batch_size=1, input_len=1024)
+    assert long_prefill < short_prefill
+    assert long_decode > 0.9
+
+    # At B=32 the KV/activations spill to the host (kv_on_gpu False)
+    # and prefill's transfer share falls notably with L, while the
+    # decoding share remains above 80 % for every L.
+    assert not result.value("kv_on_gpu", stage="prefill", batch_size=32,
+                            input_len=1024)
+    b32_prefill_64 = result.value("transfer_share", stage="prefill",
+                                  batch_size=32, input_len=64)
+    b32_prefill_1024 = result.value("transfer_share", stage="prefill",
+                                    batch_size=32, input_len=1024)
+    assert b32_prefill_1024 < b32_prefill_64 - 0.1
+    for input_len in (64, 128, 256, 512, 1024):
+        share = result.value("transfer_share", stage="decode",
+                             batch_size=32, input_len=input_len)
+        assert share > 0.80

@@ -1,0 +1,34 @@
+"""Figure 4: limits of AVX512 attention compute-offloading (B=32)."""
+
+from repro.experiments import fig04_avx_attention
+
+
+def test_fig04_compute_offload_limits(run_once):
+    result = run_once(fig04_avx_attention.run)
+    print()
+    print(result.render())
+
+    # Insight-2: offloading buys ~nothing (the paper: a small loss)
+    # at the shortest L.
+    assert result.value("latency_reduction", input_len=64) < 0.05
+
+    # The benefit grows with L but stays modest because parameter
+    # transfers still dominate (paper: <= 10.2 % at L=1024; the
+    # simulator's optimized CPU path reaches somewhat higher, see
+    # EXPERIMENTS.md).
+    reductions = [result.value("latency_reduction", input_len=length)
+                  for length in (64, 128, 256, 512, 1024)]
+    assert reductions == sorted(reductions)
+    assert reductions[-1] < 0.35
+
+    # The saved KV transfer grows linearly with L while the CPU
+    # attention cost grows sublinearly (memory-bound), which is what
+    # makes offloading pay off only at long L.  (The paper's measured
+    # FlexGen CPU kernels are slower than our memory-bound-optimal
+    # AVX model — see EXPERIMENTS.md — so our crossover sits earlier.)
+    cpu_64 = result.value("cpu_attention_s", input_len=64)
+    kv_64 = result.value("kv_transfer_s", input_len=64)
+    cpu_1024 = result.value("cpu_attention_s", input_len=1024)
+    kv_1024 = result.value("kv_transfer_s", input_len=1024)
+    assert kv_1024 / kv_64 > 10.0
+    assert cpu_1024 / cpu_64 < kv_1024 / kv_64

@@ -1,0 +1,71 @@
+"""Figure 5: GEMM / batched-GEMV throughput across architectures."""
+
+import pytest
+
+from repro.experiments import fig05_microbench
+
+
+def _series(result, kind, engine):
+    return {row["size"]: row["tflops"] for row in result.rows
+            if row["kind"] == kind and row["engine"] == engine}
+
+
+def test_fig05_microbench(run_once):
+    result = run_once(fig05_microbench.run)
+    print()
+    print(result.render())
+
+    gemm = {name: _series(result, "gemm", name)
+            for name in ("avx512", "spr-amx", "gnr-amx", "p100",
+                         "v100", "a100", "h100")}
+    gemv = {name: _series(result, "gemv", name) for name in gemm}
+
+    big = 36864
+    # §4.1 measured peaks: SPR-AMX ~ 20 TFLOPS, GNR-AMX ~ 40, AVX ~4.4.
+    assert gemm["spr-amx"][big] == pytest.approx(20, rel=0.1)
+    assert gemm["gnr-amx"][big] == pytest.approx(40, rel=0.12)
+    assert gemm["avx512"][big] == pytest.approx(4.4, rel=0.1)
+
+    # AMX over AVX: ~4.5x measured (§4.1).
+    assert 4.0 <= gemm["spr-amx"][big] / gemm["avx512"][big] <= 5.0
+
+    # SPR-AMX reaches 4-11 % of H100 and 7-15 % of A100 over the range
+    # (the paper's abstract quotes up to 5 % / 11 %).
+    for size in (64, 1024, big):
+        assert 0.03 <= gemm["spr-amx"][size] / gemm["h100"][size] <= 0.17
+        assert 0.06 <= gemm["spr-amx"][size] / gemm["a100"][size] <= 0.22
+
+    # GEMV: SPR lands at ~199 GFLOPS and ~15/19 % of H100/A100 at
+    # large sizes (§4.2); the gap narrows at small sizes.
+    large_b, small_b = 512, 1
+    assert gemv["spr-amx"][large_b] == pytest.approx(0.199, rel=0.05)
+    assert (gemv["spr-amx"][large_b] / gemv["h100"][large_b]
+            == pytest.approx(0.15, abs=0.05))
+    small_ratio = gemv["spr-amx"][small_b] / gemv["h100"][small_b]
+    large_ratio = gemv["spr-amx"][large_b] / gemv["h100"][large_b]
+    assert small_ratio > large_ratio
+
+    # GNR GEMV ~1.7x SPR (§4.2's 70 % improvement).
+    assert 1.5 <= gemv["gnr-amx"][large_b] / gemv["spr-amx"][large_b] \
+        <= 1.9
+
+    # AMX ~= AVX512 on GEMV (both memory-bound, §4.2).
+    assert gemv["spr-amx"][large_b] == pytest.approx(
+        gemv["avx512"][large_b], rel=0.1)
+
+
+def test_fig05_two_socket_gnr(run_once):
+    result = run_once(fig05_microbench.run,
+                      engines=("gnr-amx", "gnr2s-amx", "a100", "h100"),
+                      bl_values=(36864,), gemv_batches=(512,))
+    gnr = result.value("tflops", kind="gemm", engine="gnr-amx",
+                       size=36864)
+    gnr2s = result.value("tflops", kind="gemm", engine="gnr2s-amx",
+                         size=36864)
+    a100 = result.value("tflops", kind="gemm", engine="a100", size=36864)
+    h100 = result.value("tflops", kind="gemm", engine="h100", size=36864)
+    # §4.1: the second socket adds ~1.8x, reaching ~30 % of A100 and
+    # ~16 % of H100.
+    assert 1.6 <= gnr2s / gnr <= 2.0
+    assert 0.25 <= gnr2s / a100 <= 0.48
+    assert 0.12 <= gnr2s / h100 <= 0.25

@@ -1,0 +1,60 @@
+"""Figure 9: optimal offloading policies across (L, B)."""
+
+from repro.experiments import fig09_policy_map
+
+FULL_CPU = "(1, 1, 1, 1, 1, 1)"
+FULL_GPU = "(0, 0, 0, 0, 0, 0)"
+PARTIAL = "(0, 1, 1, 0, 0, 0)"
+
+
+def test_fig09_policy_regions(run_once):
+    result = run_once(fig09_policy_map.run)
+    print()
+    print(result.render())
+
+    for system in ("spr-a100", "spr-h100"):
+        # Prefill: full-CPU at tiny B*L, full-GPU at large B*L.
+        assert result.value("policy", system=system, stage="prefill",
+                            batch_size=1, input_len=32) == FULL_CPU
+        assert result.value("policy", system=system, stage="prefill",
+                            batch_size=64, input_len=1024) == FULL_GPU
+        # Decode: full-CPU below the threshold (independent of L),
+        # partial-CPU above it.
+        for length in (32, 512, 2048):
+            assert result.value("policy", system=system, stage="decode",
+                                batch_size=1,
+                                input_len=length) == FULL_CPU
+        assert result.value("policy", system=system, stage="decode",
+                            batch_size=1400, input_len=512) == PARTIAL
+
+        thresholds = result.select(system=system, stage="thresholds")[0]
+        decode_b = thresholds["batch_size"]
+        prefill_bl = thresholds["input_len"]
+        # §7.1: decode threshold B ~ 858, prefill transition BL ~ 850
+        # on SPR-A100; the reproduction lands in the same region (the
+        # H100's faster GPU pulls both transitions down, so its lower
+        # bound is looser).
+        assert 64 <= decode_b <= 1400
+        assert 64 <= prefill_bl <= 1600
+        if system == "spr-a100":
+            assert 250 <= decode_b
+            assert 250 <= prefill_bl
+
+    # "Impact of GPU capability": the H100 shifts both transitions
+    # toward GPU-centric policies.
+    a100 = result.select(system="spr-a100", stage="thresholds")[0]
+    h100 = result.select(system="spr-h100", stage="thresholds")[0]
+    assert h100["batch_size"] <= a100["batch_size"]
+    assert h100["input_len"] <= a100["input_len"]
+
+
+def test_fig09_only_three_primary_policies(run_once):
+    """§7.1: LIA identifies three primary policies across OPT models."""
+    result = run_once(fig09_policy_map.run,
+                      model="opt-175b",
+                      system_names=("spr-a100",),
+                      batch_sizes=(1, 16, 64, 256, 900, 1400),
+                      input_lens=(32, 256, 1024, 2048))
+    policies = {row["policy"] for row in result.rows
+                if row["stage"] in ("prefill", "decode")}
+    assert policies <= {FULL_CPU, FULL_GPU, PARTIAL}

@@ -1,0 +1,44 @@
+"""Figure 12: per-token energy normalized to LIA (SPR-A100)."""
+
+from repro.experiments import fig12_energy
+from repro.experiments.reporting import OOM
+
+
+def test_fig12_energy(run_once):
+    result = run_once(fig12_energy.run)
+    print()
+    print(result.render())
+
+    ipex = [row["normalized_to_lia"] for row in
+            result.select(framework="ipex")
+            if row["normalized_to_lia"] != OOM]
+    flexgen = [row["normalized_to_lia"] for row in
+               result.select(framework="flexgen")
+               if row["normalized_to_lia"] != OOM]
+
+    # LIA is the most energy-efficient everywhere (paper: 1.1-5.8x vs
+    # IPEX, 1.6-10.3x vs FlexGen).
+    assert min(ipex) >= 1.0
+    assert min(flexgen) >= 1.0
+    assert max(ipex) <= 9.0
+    assert max(flexgen) <= 16.0
+    assert max(flexgen) >= 2.0
+
+    # FlexGen's gap narrows at B=900 (paper: down to ~1.6x).
+    fg_b1 = result.value("normalized_to_lia", model="opt-30b",
+                         framework="flexgen", batch_size=1,
+                         input_len=32, output_len=32)
+    fg_b900 = result.value("normalized_to_lia", model="opt-30b",
+                           framework="flexgen", batch_size=900,
+                           input_len=32, output_len=32)
+    assert fg_b900 < fg_b1
+
+    # IPEX's gap grows with longer inputs at B=64 (LIA borrows the
+    # GPU for compute-heavy prefill).
+    ipex_short = result.value("normalized_to_lia", model="opt-30b",
+                              framework="ipex", batch_size=64,
+                              input_len=32, output_len=32)
+    ipex_long = result.value("normalized_to_lia", model="opt-30b",
+                             framework="ipex", batch_size=64,
+                             input_len=2016, output_len=32)
+    assert ipex_long > ipex_short

@@ -1,0 +1,56 @@
+"""Figure 13 and Table 6: scaling with Granite Rapids."""
+
+from repro.experiments import fig13_tab6_gnr
+
+
+def test_tab6_gnr_ratios(run_once):
+    result = run_once(fig13_tab6_gnr.run_table6)
+    print()
+    print(result.render())
+
+    # LIA keeps winning on GNR systems.
+    assert all(row["vs_ipex"] >= 1.0 for row in result.rows)
+    assert all(row["vs_flexgen"] >= 1.0 for row in result.rows)
+
+    # Table 6 bands (generous): online vs FlexGen is multi-x (paper
+    # 3.9-24x), vs IPEX modest (paper 1.1-1.8x).
+    online = [row for row in result.rows if row["scenario"] == "online"]
+    assert max(row["vs_flexgen"] for row in online) >= 4.0
+    assert all(row["vs_ipex"] <= 3.0 for row in online)
+
+
+def test_gnr_shifts_gaps_vs_spr(run_once):
+    """§7.6: upgrading SPR->GNR shrinks the IPEX gap and widens the
+    FlexGen gap."""
+    from repro.experiments import fig10_online_latency
+    from repro.experiments.fig10_online_latency import speedup
+
+    result = run_once(fig10_online_latency.run,
+                      pairs=(("spr-a100", "opt-175b"),
+                             ("gnr-a100", "opt-175b")),
+                      output_lens=(32,))
+    spr_fg = speedup(result, "flexgen", "spr-a100", "opt-175b", 256, 32)
+    gnr_fg = speedup(result, "flexgen", "gnr-a100", "opt-175b", 256, 32)
+    spr_ipex = speedup(result, "ipex", "spr-a100", "opt-175b", 256, 32)
+    gnr_ipex = speedup(result, "ipex", "gnr-a100", "opt-175b", 256, 32)
+    assert gnr_fg > spr_fg
+    assert gnr_ipex <= spr_ipex + 0.05
+
+
+def test_fig13_gnr_a100_vs_spr_h100(run_once):
+    result = run_once(fig13_tab6_gnr.run_fig13)
+    print()
+    print(result.render())
+
+    # Online (B=1): GNR-A100 wins on latency (paper: 1.4-2.0x).
+    online = result.select(batch_size=1)
+    assert all(row["latency_ratio"] >= 1.1 for row in online)
+    assert all(row["latency_ratio"] <= 2.6 for row in online)
+
+    # Offline B=64: GNR-A100 ahead (paper: up to 1.9x); B=900: SPR-H100
+    # ahead (paper: GNR at ~70 % of SPR-H100 throughput).
+    b64 = result.select(batch_size=64)
+    assert max(row["throughput_ratio"] for row in b64) >= 1.0
+    b900 = result.select(batch_size=900)
+    assert all(row["throughput_ratio"] <= 1.1 for row in b900)
+    assert all(row["throughput_ratio"] >= 0.45 for row in b900)

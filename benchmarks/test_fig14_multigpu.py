@@ -1,0 +1,52 @@
+"""Figure 14: LIA (GNR-A100) vs 8-way tensor parallel (DGX-A100)."""
+
+from repro.experiments import fig14_multigpu
+from repro.experiments.reporting import OOM
+from repro.hardware.system import get_system
+
+
+def test_fig14_per_gpu_throughput_and_cost(run_once):
+    result = run_once(fig14_multigpu.run)
+    print()
+    print(result.render())
+
+    def cell(column, config, batch):
+        return result.value(column, config=config, batch_size=batch)
+
+    # B=1: LIA wins per-GPU throughput (paper: 1.4-1.8x).
+    lia_1 = cell("per_gpu_tokens_per_s", "lia/gnr-a100", 1)
+    dgx_1 = cell("per_gpu_tokens_per_s", "tp8/dgx-a100", 1)
+    assert 1.1 <= lia_1 / dgx_1 <= 2.2
+
+    # B=64: the DGX is competitive to modestly ahead (paper: LIA at
+    # ~0.67-0.70x the DGX's per-GPU throughput).
+    lia_64 = cell("per_gpu_tokens_per_s", "lia/gnr-a100", 64)
+    dgx_64 = cell("per_gpu_tokens_per_s", "tp8/dgx-a100", 64)
+    assert 0.5 <= lia_64 / dgx_64 <= 1.3
+
+    # B=900: DGX OOMs, LIA keeps scaling.
+    assert cell("per_gpu_tokens_per_s", "tp8/dgx-a100", 900) == OOM
+    lia_900 = cell("per_gpu_tokens_per_s", "lia/gnr-a100", 900)
+    assert lia_900 != OOM and lia_900 > lia_64
+
+    # System cost: the single-GPU box costs a small fraction of the
+    # DGX (paper: ~10 %; our part-price model lands at ~25 %).
+    gnr = get_system("gnr-a100")
+    dgx = get_system("dgx-a100")
+    assert gnr.price_usd < 0.35 * dgx.price_usd
+
+
+def test_fig14_cost_per_mtoken_direction(run_once):
+    result = run_once(fig14_multigpu.run, batch_sizes=(1, 64))
+    # At B=1 the DGX burns 8 idle GPUs; per-token cost comparison
+    # hinges on capital amortization — LIA's $/Mtoken must be within
+    # a small factor and much cheaper capital-wise.
+    lia_1 = result.value("usd_per_mtoken", config="lia/gnr-a100",
+                         batch_size=1)
+    dgx_1 = result.value("usd_per_mtoken", config="tp8/dgx-a100",
+                         batch_size=1)
+    assert lia_1 > 0 and dgx_1 > 0
+    # B=64: costs drop by an order of magnitude for both systems.
+    lia_64 = result.value("usd_per_mtoken", config="lia/gnr-a100",
+                          batch_size=64)
+    assert lia_64 < lia_1 / 5

@@ -1,0 +1,31 @@
+"""Figure 15: LIA vs PowerInfer, Llama2-70B on GNR-A100."""
+
+from repro.experiments import fig15_powerinfer
+from repro.experiments.reporting import OOM
+
+
+def test_fig15_powerinfer(run_once):
+    result = run_once(fig15_powerinfer.run)
+    print()
+    print(result.render())
+
+    def cell(column, framework, batch):
+        return result.value(column, framework=framework,
+                            batch_size=batch)
+
+    # Paper: LIA achieves 1.4-9.0x lower latency and 1.5-15x higher
+    # throughput; PowerInfer OOMs at B=900.
+    ratio_1 = (cell("latency_s", "powerinfer", 1)
+               / cell("latency_s", "lia", 1))
+    ratio_64 = (cell("latency_s", "powerinfer", 64)
+                / cell("latency_s", "lia", 64))
+    assert 1.1 <= ratio_1 <= 3.0
+    assert ratio_64 > ratio_1
+    assert 2.0 <= ratio_64 <= 12.0
+
+    tput_64 = (cell("tokens_per_s", "lia", 64)
+               / cell("tokens_per_s", "powerinfer", 64))
+    assert tput_64 >= 2.0
+
+    assert cell("latency_s", "powerinfer", 900) == OOM
+    assert cell("latency_s", "lia", 900) != OOM

@@ -1,0 +1,34 @@
+"""§7.2: LIA's CPU-GPU transfer reduction over FlexGen."""
+
+import math
+
+from repro.experiments import sec72_transfer_reduction
+
+
+def test_sec72_transfer_reduction(run_once):
+    result = run_once(sec72_transfer_reduction.run)
+    print()
+    print(result.render())
+
+    reductions = [row["reduction"] for row in result.rows]
+    # The paper reports 31x to 222,524x; assert the same orders of
+    # magnitude: always >= ~30x, and astronomically large at B=1
+    # (streamed layers run fully on the CPU, so per-token traffic is
+    # essentially zero).
+    assert all(r >= 25 or math.isinf(r) for r in reductions)
+    b1 = [row["reduction"] for row in result.rows
+          if row["batch_size"] == 1]
+    assert all(r >= 1000 or math.isinf(r) for r in b1)
+
+    # §7.2: "LIA's relative CPU-GPU transfer amount over FlexGen
+    # decreases by up to 6.5x from OPT-30B to OPT-175B" — i.e. the
+    # reduction factor *grows* with model size.
+    r30 = result.value("reduction", model="opt-30b", batch_size=64)
+    r175 = result.value("reduction", model="opt-175b", batch_size=64)
+    assert r175 >= r30
+
+    # FlexGen's absolute volume is dominated by weight streaming:
+    # roughly the non-resident weight bytes per token.
+    fg = result.value("flexgen_mb_per_token", model="opt-175b",
+                      batch_size=64)
+    assert fg > 100.0  # hundreds of MB per token

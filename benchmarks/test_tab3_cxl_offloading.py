@@ -1,0 +1,44 @@
+"""Table 3: CXL parameter offloading for OPT-30B at B=900."""
+
+import pytest
+
+from repro.experiments import tab3_cxl_offloading
+
+
+def test_tab3_cxl_offloading(run_once):
+    result = run_once(tab3_cxl_offloading.run)
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        # Performance parity at the same B (paper: within 1 %).
+        assert row["tokens_per_s_cxl"] == pytest.approx(
+            row["tokens_per_s"], rel=0.02)
+        # CXL offloading buys a bigger batch under the same DDR
+        # footprint, and that batch raises throughput.
+        assert row["increased_batch"] > 900
+        assert row["tokens_per_s_cxl_bigger_b"] > row["tokens_per_s"]
+        # The parenthesized offload percentage is lower at bigger B.
+        assert row["offloaded_pct_bigger_b"] < row["offloaded_pct"]
+
+    # L_out=32 row: paper reports 43.1 % offloaded, B -> 1580, and a
+    # 1.45x throughput gain.
+    short = result.value
+    assert short("offloaded_pct", output_len=32) == pytest.approx(
+        43.1, abs=5.0)
+    assert 1300 <= short("increased_batch", output_len=32) <= 1800
+    gain = (short("tokens_per_s_cxl_bigger_b", output_len=32)
+            / short("tokens_per_s", output_len=32))
+    assert 1.15 <= gain <= 1.6
+
+    # Offloaded percentage decreases with L_out (KV grows in DDR):
+    # paper: 43.1 -> 33.5 -> 23.2 -> 14.4 %.
+    percentages = [row["offloaded_pct"] for row in result.rows]
+    assert percentages == sorted(percentages, reverse=True)
+    assert result.value("offloaded_pct", output_len=256) == \
+        pytest.approx(14.4, abs=4.0)
+
+    # Increased batch sizes shrink with L_out (paper: 1580, 1350,
+    # 1150, 1050).
+    batches = [row["increased_batch"] for row in result.rows]
+    assert batches == sorted(batches, reverse=True)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Latency-driven serving: size a single-GPU box for a chat assistant.
+
+The scenario the paper's introduction motivates: a user-facing virtual
+assistant needs low response latency on one GPU, with prompt lengths
+drawn from an Azure-style trace.  This example sweeps candidate
+systems, reports per-request latency percentiles and time-to-first-
+token (prefill) vs generation time, and shows how LIA's policy choice
+changes across the trace.
+
+Run:  python examples/chatbot_serving.py
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+
+from repro import LiaConfig, LiaEstimator, get_model, get_system
+from repro.models.workload import TraceKind, azure_trace_lengths
+
+CANDIDATE_SYSTEMS = ("spr-a100", "spr-h100", "gnr-a100", "gnr-h100")
+N_REQUESTS = 40
+
+
+def main() -> None:
+    spec = get_model("opt-66b")
+    config = LiaConfig(enforce_host_capacity=False)
+    trace = azure_trace_lengths(N_REQUESTS, spec,
+                                TraceKind.CONVERSATION, seed=7)
+    print(f"workload: {N_REQUESTS} conversational requests on "
+          f"{spec.name} (L_out=256, uniform L_in)")
+    print()
+
+    for system_name in CANDIDATE_SYSTEMS:
+        system = get_system(system_name)
+        estimator = LiaEstimator(spec, system, config)
+        latencies = []
+        first_token = []
+        policies = Counter()
+        for request in trace:
+            estimate = estimator.estimate(request)
+            latencies.append(estimate.latency)
+            first_token.append(estimate.prefill.time)
+            policies[str(estimate.prefill_policy)] += 1
+
+        latencies.sort()
+        p50 = statistics.median(latencies)
+        p95 = latencies[int(0.95 * len(latencies)) - 1]
+        print(f"--- {system_name}")
+        print(f"    latency p50 {p50:7.2f} s   p95 {p95:7.2f} s   "
+              f"mean TTFT {statistics.mean(first_token):6.3f} s")
+        print(f"    prefill policies across the trace: "
+              + ", ".join(f"{policy} x{count}"
+                          for policy, count in policies.most_common()))
+        tokens_per_s = sum(r.output_len for r in trace) / sum(latencies)
+        print(f"    sequential trace throughput: {tokens_per_s:.2f} "
+              f"tokens/s")
+        print()
+
+    print("Reading the results: the GNR CPU accelerates the decode-"
+          "dominated conversation workload (decoding runs on the CPU "
+          "at B=1), while the H100 mainly accelerates long-prompt "
+          "prefills — exactly the Fig. 13 trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Throughput-driven batch inference with CXL capacity planning (§6).
+
+The offline scenario: a data-wrangling job wants maximum tokens/s from
+one SPR-A100 box running OPT-30B.  This example mirrors Table 3:
+
+1. estimate the baseline throughput and DDR footprint at B=900,
+2. attach two CXL expanders, move the weights there (§6 tiering), and
+   find the larger batch that fits in the *same DDR footprint*,
+3. compare throughput and the memory bill for that footprint, and
+4. show why the *oblivious* all-in-CXL placement is a bad idea
+   (Observation-2).
+
+Run:  python examples/cxl_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import LiaConfig, LiaEstimator, get_model, get_system, make_request
+from repro.core.estimator import host_memory_usage
+from repro.cxl.tiering import plan_tiering
+from repro.energy.cost import memory_system_cost
+
+BATCH, INPUT_LEN, OUTPUT_LEN = 900, 32, 64
+
+
+def main() -> None:
+    spec = get_model("opt-30b")
+    base_system = get_system("spr-a100")
+    cxl_system = base_system.with_cxl(n_expanders=2)
+    ddr_config = LiaConfig()
+    tiered_config = LiaConfig().with_cxl_weights()
+    request = make_request(BATCH, INPUT_LEN, OUTPUT_LEN)
+
+    # ------------------------------------------------------------------
+    # 1. DDR-only baseline at B=900.
+    # ------------------------------------------------------------------
+    ddr_run = LiaEstimator(spec, base_system, ddr_config).estimate(request)
+    ddr_footprint = ddr_run.memory.ddr_bytes
+    print(f"DDR only, B={BATCH:4d}: {ddr_run.throughput:8.1f} tokens/s   "
+          f"DDR footprint {ddr_footprint / 2**30:.0f} GiB")
+
+    # ------------------------------------------------------------------
+    # 2. Same B with weights in CXL: performance parity, DDR freed.
+    # ------------------------------------------------------------------
+    tiered = LiaEstimator(spec, cxl_system, tiered_config)
+    cxl_same_b = tiered.estimate(request)
+    plan = plan_tiering(spec, request, cxl_system)
+    print(f"CXL tier, B={BATCH:4d}: {cxl_same_b.throughput:8.1f} tokens/s"
+          f"   DDR {cxl_same_b.memory.ddr_bytes / 2**30:.0f} GiB + CXL "
+          f"{cxl_same_b.memory.cxl_bytes / 2**30:.0f} GiB   "
+          f"({plan.ddr_savings_fraction:.0%} of DDR freed, throughput "
+          f"within {abs(1 - cxl_same_b.throughput / ddr_run.throughput):.1%})")
+
+    # ------------------------------------------------------------------
+    # 3. Spend the freed DDR on a bigger batch (Table 3's parentheses).
+    # ------------------------------------------------------------------
+    bigger_b = BATCH
+    while True:
+        candidate = make_request(bigger_b + 50, INPUT_LEN, OUTPUT_LEN)
+        usage = host_memory_usage(spec, candidate, cxl_system,
+                                  tiered_config)
+        if usage.ddr_bytes > ddr_footprint:
+            break
+        bigger_b += 50
+    bigger_run = tiered.estimate(make_request(bigger_b, INPUT_LEN,
+                                              OUTPUT_LEN))
+    print(f"CXL tier, B={bigger_b:4d}: {bigger_run.throughput:8.1f} "
+          f"tokens/s   (same DDR footprint; "
+          f"{bigger_b / BATCH:.2f}x batch, "
+          f"{bigger_run.throughput / ddr_run.throughput:.2f}x throughput)")
+
+    # ------------------------------------------------------------------
+    # 4. Memory bill for this footprint (§8's cost discussion).
+    # ------------------------------------------------------------------
+    bill_ddr = memory_system_cost(ddr_footprint)
+    bill_cxl = memory_system_cost(cxl_same_b.memory.ddr_bytes,
+                                  cxl_same_b.memory.cxl_bytes)
+    print(f"memory bill for the B={BATCH} working set: "
+          f"${bill_ddr:,.0f} all-DDR vs ${bill_cxl:,.0f} DDR+CXL")
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Observation-2: never put the KV cache in CXL.
+    # ------------------------------------------------------------------
+    oblivious = LiaEstimator(
+        spec, cxl_system,
+        LiaConfig(enforce_host_capacity=False).with_all_cxl())
+    bad = oblivious.estimate(request)
+    print(f"placement check at B={BATCH}: weights-only in CXL "
+          f"{cxl_same_b.throughput:.1f} tokens/s vs everything in CXL "
+          f"{bad.throughput:.1f} tokens/s "
+          f"({cxl_same_b.throughput / bad.throughput:.2f}x better)")
+    print("The KV cache feeds ops/byte~1 CPU sublayers: putting it in "
+          "CXL stalls AMX (Fig. 8b), while weights stream to the GPU "
+          "at full PCIe rate from interleaved expanders (Fig. 8a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick the right CPU-GPU combination.
+
+§7.6 and §7.8 argue cost-efficiency depends on pairing the right CPU
+with the right GPU (GNR-A100 beats SPR-H100 per dollar for online
+work; the DGX wins raw batch throughput but at 4x+ the price).  This
+example sweeps every single-GPU system in the zoo across the three
+operating points and prints a cost-efficiency frontier:
+tokens/s, $/Mtoken, tokens/s/W, and the SLO-planner's pick.
+
+Run:  python examples/design_space.py [model]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import LiaConfig, LiaEstimator, get_model, get_system, make_request
+from repro.energy.cost import cost_per_million_tokens, tokens_per_second_per_watt
+from repro.serving.planner import choose_system
+
+SYSTEMS = ("spr-a100", "spr-h100", "gnr-a100", "gnr-h100", "gh200")
+OPERATING_POINTS = (
+    ("online  B=1", make_request(1, 256, 32)),
+    ("offline B=64", make_request(64, 256, 32)),
+    ("offline B=900", make_request(900, 256, 32)),
+)
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "opt-175b"
+    spec = get_model(model_name)
+    config = LiaConfig(enforce_host_capacity=False)
+    print(f"design space for {spec.name} "
+          f"({spec.total_params / 1e9:.0f}B params)\n")
+
+    for label, request in OPERATING_POINTS:
+        print(f"--- {label} (L_in={request.input_len}, "
+              f"L_out={request.output_len})")
+        print(f"    {'system':>10} {'tokens/s':>10} {'$/Mtoken':>10} "
+              f"{'tok/s/W':>9} {'price':>9}")
+        rows = []
+        for name in SYSTEMS:
+            system = get_system(name)
+            estimate = LiaEstimator(spec, system, config).estimate(
+                request)
+            rows.append((name,
+                         estimate.throughput,
+                         cost_per_million_tokens(system, estimate),
+                         tokens_per_second_per_watt(system, estimate),
+                         system.price_usd))
+        rows.sort(key=lambda row: row[2])  # cheapest per token first
+        for name, tput, usd, per_watt, price in rows:
+            print(f"    {name:>10} {tput:>10.2f} {usd:>10.2f} "
+                  f"{per_watt:>9.4f} {price:>9,.0f}")
+        best = rows[0][0]
+        print(f"    cheapest per token: {best}\n")
+
+    # The SLO planner automates the same decision for a latency target.
+    workload = [make_request(1, 256, 32) for __ in range(6)]
+    choices = choose_system(spec, workload, slo_p95_seconds=60.0,
+                            candidates=SYSTEMS, config=config)
+    print("--- SLO planner (p95 <= 60 s, online trace)")
+    for choice in choices:
+        verdict = ("RECOMMENDED" if choice is choices[0]
+                   and choice.feasible else
+                   ("ok" if choice.feasible else choice.reason))
+        print(f"    {choice.name:>10}: p95 {choice.p95_latency:7.1f} s, "
+              f"${choice.usd_per_hour:5.2f}/h   {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Offline corpus processing: batch a document-summarization job.
+
+The throughput-driven use case of the paper's introduction
+(information extraction / data wrangling): thousands of variable-
+length documents, no latency requirement, one SPR-A100 box.  The
+serving layer packs them into memory-feasible padded batches and the
+estimator prices the whole job, with and without CXL capacity.
+
+Run:  python examples/offline_corpus.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import LiaConfig, LiaEstimator, get_model, get_system
+from repro.cxl.tiering import adaptive_config
+from repro.energy.cost import CostModel, memory_system_cost
+from repro.models.workload import InferenceRequest
+from repro.serving.batcher import pack_requests
+
+N_DOCUMENTS = 6000
+#: Short structured records (the data-wrangling workload): uniform
+#: 32-256 input tokens, 32 summary tokens — the regime of Table 3,
+#: where batch size is DDR-capacity-bound.
+MAX_DOC_TOKENS = 256
+
+
+def make_corpus(seed: int = 11):
+    rng = random.Random(seed)
+    return [InferenceRequest(1, rng.randint(32, MAX_DOC_TOKENS), 32)
+            for __ in range(N_DOCUMENTS)]
+
+
+def process(label, spec, system, config, adaptive=False) -> float:
+    corpus = make_corpus()
+    # Capacity-plan with weights out of DDR when CXL is available:
+    # only the largest batches approach the DDR limit, and those are
+    # exactly the ones the adaptive policy moves weights out for.
+    packing_config = (config.with_cxl_weights()
+                      if adaptive and system.has_cxl else config)
+    batches = pack_requests(corpus, spec, system, packing_config,
+                            max_batch=2048)
+    total_time = 0.0
+    total_tokens = 0
+    for batch in batches:
+        # §6: weights go to CXL only when the batch is large enough
+        # that the GPU owns the parameter sublayers.
+        batch_config = (adaptive_config(spec, batch.request, system,
+                                        config) if adaptive else config)
+        estimate = LiaEstimator(spec, system,
+                                batch_config).estimate(batch.request)
+        total_time += estimate.latency
+        total_tokens += batch.request.total_generated_tokens
+    cost = CostModel(system).usd_per_hour() * total_time / 3600.0
+    mean_eff = sum(b.prompt_efficiency for b in batches) / len(batches)
+    print(f"--- {label}")
+    print(f"    {len(batches)} batches (sizes "
+          f"{min(b.n_members for b in batches)}-"
+          f"{max(b.n_members for b in batches)}), mean prompt "
+          f"efficiency {mean_eff:.0%}")
+    print(f"    job time {total_time / 3600:.2f} h, "
+          f"{total_tokens / total_time:.1f} tokens/s, "
+          f"${cost:.2f} total")
+    return total_time
+
+
+def halve_ddr(system):
+    """The §8 cost play: buy half the DDR and add cheap CXL instead."""
+    from dataclasses import replace
+
+    small_ddr = replace(system.cpu.memory,
+                        capacity_bytes=system.cpu.memory.capacity_bytes
+                        / 2)
+    cpu = replace(system.cpu, memory=small_ddr)
+    return replace(system, name=system.name + "-halfddr", cpu=cpu)
+
+
+def main() -> None:
+    spec = get_model("opt-30b")
+    print(f"corpus: {N_DOCUMENTS} documents of 32-{MAX_DOC_TOKENS} "
+          f"tokens, {spec.name}, L_out=32\n")
+
+    plain = get_system("spr-a100")
+    ddr_time = process("512 GiB DDR (spr-a100)", spec, plain,
+                       LiaConfig())
+    ddr_bill = memory_system_cost(plain.cpu.memory.capacity_bytes)
+
+    cheap = halve_ddr(plain).with_cxl(n_expanders=2)
+    cxl_time = process("256 GiB DDR + 256 GiB CXL (adaptive tiering)",
+                       spec, cheap, LiaConfig(), adaptive=True)
+    cxl_bill = memory_system_cost(cheap.cpu.memory.capacity_bytes,
+                                  cheap.cxl_pool.capacity_bytes)
+
+    print(f"\nmemory bill: ${ddr_bill:,.0f} (all DDR) vs "
+          f"${cxl_bill:,.0f} (DDR+CXL)")
+    print(f"job-time ratio: {ddr_time / cxl_time:.2f}x "
+          f"(1.0 = parity)")
+    print("The §8 trade: halving DDR and adding repurposed-DDR4 CXL "
+          "keeps throughput essentially intact — weights stream to "
+          "the GPU from CXL at full PCIe rate for the large batches, "
+          "and stay in DDR for the small ones — while cutting the "
+          "memory bill roughly in half.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the same rows/series the paper reports, experiment by
+experiment.  This is the script behind EXPERIMENTS.md; the
+``benchmarks/`` tree runs the same drivers under pytest-benchmark with
+assertions on the paper's claims.
+
+Run:  python examples/reproduce_paper.py            # everything
+      python examples/reproduce_paper.py fig10 tab4 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    ext_kv_tiering,
+    ext_multigpu,
+    ext_robustness,
+    ext_sensitivity,
+    ext_quantization,
+    fig01_opsbyte,
+    fig03_transfer_bottleneck,
+    fig04_avx_attention,
+    fig05_microbench,
+    fig08_cxl,
+    fig09_policy_map,
+    fig10_online_latency,
+    fig11_offline_throughput,
+    fig12_energy,
+    fig13_tab6_gnr,
+    fig14_multigpu,
+    fig15_powerinfer,
+    sec72_transfer_reduction,
+    sec77_generalizability,
+    sec8_discussion,
+    tab3_cxl_offloading,
+    tab4_ablation,
+    tab5_breakdown,
+)
+
+EXPERIMENTS = {
+    "fig01": [fig01_opsbyte.run],
+    "fig03": [fig03_transfer_bottleneck.run],
+    "fig04": [fig04_avx_attention.run],
+    "fig05": [fig05_microbench.run],
+    "fig08": [fig08_cxl.run],
+    "fig09": [fig09_policy_map.run],
+    "fig10": [fig10_online_latency.run],
+    "fig11": [fig11_offline_throughput.run],
+    "fig12": [fig12_energy.run],
+    "fig13": [fig13_tab6_gnr.run_fig13],
+    "fig14": [fig14_multigpu.run],
+    "fig15": [fig15_powerinfer.run],
+    "tab3": [tab3_cxl_offloading.run],
+    "tab4": [tab4_ablation.run],
+    "tab5": [tab5_breakdown.run],
+    "tab6": [fig13_tab6_gnr.run_table6],
+    "sec72": [sec72_transfer_reduction.run],
+    "sec77": [sec77_generalizability.run],
+    "sec8": [sec8_discussion.run_grace_hopper,
+             sec8_discussion.run_cheap_gpu_alternative,
+             sec8_discussion.run_cxl_cost_saving],
+    "ext-int8": [ext_quantization.run],
+    "ext-multigpu": [ext_multigpu.run],
+    "ext-sensitivity": [ext_sensitivity.run],
+    "ext-robustness": [ext_robustness.run],
+    "ext-kv-tiering": [ext_kv_tiering.run],
+}
+
+
+def main() -> None:
+    requested = sys.argv[1:] or sorted(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}; "
+                         f"choose from {', '.join(sorted(EXPERIMENTS))}")
+    total_start = time.perf_counter()
+    for name in requested:
+        for driver in EXPERIMENTS[name]:
+            start = time.perf_counter()
+            result = driver()
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            print(f"[{name}: {elapsed:.2f} s]")
+            print()
+    print(f"total: {time.perf_counter() - total_start:.1f} s for "
+          f"{len(requested)} experiment group(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Mirror of the original artifact's cxl_offloading.sh: LIA's
+# CXL-offloading results (Table 3) plus the Fig. 8 characterization.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+python -m repro experiment tab3 fig08 --csv-dir results
+echo "wrote results/tab3.csv and results/fig08.csv"

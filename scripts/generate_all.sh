@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure (the plots/ equivalent of the
+# original artifact) as CSVs under results/, after verifying the
+# simulator calibration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+python -m repro calibrate
+mkdir -p results
+python -m repro experiment --csv-dir results > results/report.txt
+echo "report: results/report.txt, series: results/*.csv"

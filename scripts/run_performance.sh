@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Mirror of the original artifact's run_performance.sh: collect the
+# LIA / IPEX / FlexGen online and offline data behind Figures 10-11
+# (SPR-A100 configuration), writing CSVs to results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+python -m repro experiment fig10 fig11 --csv-dir results
+echo "wrote results/fig10.csv and results/fig11.csv"

@@ -1,0 +1,29 @@
+"""Baseline inference frameworks the paper compares against.
+
+* :mod:`repro.baselines.flexgen` — FlexGen (Sheng et al., ICML '23):
+  weight streaming with sublayer-class GPU caching, AVX512 CPU
+  attention offload in decode, and mini-batch overlap in both stages.
+* :mod:`repro.baselines.ipex` — Intel Extension for PyTorch: CPU-only
+  execution with AMX.
+* :mod:`repro.baselines.data_offload` — naive memory offloading
+  (DeepSpeed-Inference / Accelerate style): everything computes on the
+  GPU, weights stream every layer.
+* :mod:`repro.baselines.powerinfer` — PowerInfer (Song et al.):
+  hot/cold neuron partitioning with per-sublayer PCIe traffic.
+* :mod:`repro.baselines.multi_gpu` — 8-way tensor-parallel DGX-A100
+  (the paper evaluates it with Microsoft's Vidur simulator).
+"""
+
+from repro.baselines.flexgen import FlexGenEstimator
+from repro.baselines.ipex import IpexEstimator
+from repro.baselines.data_offload import DataOffloadEstimator
+from repro.baselines.powerinfer import PowerInferEstimator
+from repro.baselines.multi_gpu import TensorParallelEstimator
+
+__all__ = [
+    "FlexGenEstimator",
+    "IpexEstimator",
+    "DataOffloadEstimator",
+    "PowerInferEstimator",
+    "TensorParallelEstimator",
+]

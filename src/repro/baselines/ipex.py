@@ -1,0 +1,58 @@
+"""IPEX baseline: CPU-only inference with AMX (§7's first baseline).
+
+Intel Extension for PyTorch runs the whole model on the Xeon: every
+sublayer computes with AMX against DDR-resident weights, there are no
+PCIe transfers, and the GPU sits idle.  Implemented as the LIA
+estimator pinned to the full-CPU policy with both optimizations off
+(there is nothing to overlap and no GPU memory to pack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import LiaConfig
+from repro.core.estimator import InferenceEstimate, LiaEstimator
+from repro.core.policy import FULL_CPU
+from repro.hardware.system import SystemConfig
+from repro.models.spec import ModelSpec
+from repro.models.workload import InferenceRequest
+
+
+class IpexEstimator:
+    """Analytic model of CPU-only (IPEX) inference."""
+
+    framework_name = "ipex"
+
+    def __init__(self, spec: ModelSpec, system: SystemConfig,
+                 config: Optional[LiaConfig] = None) -> None:
+        base = config or LiaConfig()
+        self.config = replace(
+            base,
+            gpu_residency=False,
+            overlap=False,
+            cpu_engine="amx" if "amx" in system.cpu.engines else
+            next(iter(sorted(system.cpu.engines))),
+            forced_prefill_policy=FULL_CPU,
+            forced_decode_policy=FULL_CPU,
+        )
+        self._inner = LiaEstimator(spec, system, self.config)
+        self.spec = spec
+        self.system = system
+
+    def estimate(self, request: InferenceRequest) -> InferenceEstimate:
+        """CPU-only end-to-end estimate."""
+        result = self._inner.estimate(request)
+        return InferenceEstimate(
+            framework=self.framework_name,
+            model=result.model,
+            system=result.system,
+            request=result.request,
+            prefill=result.prefill,
+            decode=result.decode,
+            prefill_policy=result.prefill_policy,
+            decode_policy=result.decode_policy,
+            residency=result.residency,
+            memory=result.memory,
+        )

@@ -1,0 +1,195 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``models`` / ``systems`` — list the zoos.
+* ``plan`` — choose policies and estimate one request.
+* ``policy-map`` — print a Fig. 9-style policy grid.
+* ``experiment`` — run experiment drivers and print (or export) the
+  tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import LiaConfig
+from repro.core.estimator import LiaEstimator
+from repro.core.optimizer import optimal_policy
+from repro.errors import ReproError
+from repro.hardware.cpu import CPU_ZOO
+from repro.hardware.gpu import GPU_ZOO
+from repro.hardware.system import SYSTEM_ZOO, get_system
+from repro.models.sublayers import Stage
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import MODEL_ZOO, get_model
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LIA reproduction: cooperative AMX CPU-GPU LLM "
+                    "inference with CXL offloading (ISCA 2025)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("models", help="list the model zoo")
+    commands.add_parser("systems", help="list system configurations")
+    commands.add_parser(
+        "calibrate",
+        help="verify the simulators against the paper's measured "
+             "anchors")
+
+    plan = commands.add_parser(
+        "plan", help="choose policies and estimate one request")
+    plan.add_argument("--model", default="opt-175b")
+    plan.add_argument("--system", default="spr-h100")
+    plan.add_argument("--batch", type=int, default=1)
+    plan.add_argument("--input-len", type=int, default=256)
+    plan.add_argument("--output-len", type=int, default=32)
+    plan.add_argument("--enforce-memory", action="store_true",
+                      help="fail on host-memory overflow instead of "
+                           "using the analytical model")
+    plan.add_argument("--cxl", action="store_true",
+                      help="attach 2 CXL expanders and move weights "
+                           "there (§6)")
+
+    grid = commands.add_parser(
+        "policy-map", help="print a Fig. 9-style policy grid")
+    grid.add_argument("--model", default="opt-175b")
+    grid.add_argument("--system", default="spr-a100")
+    grid.add_argument("--stage", choices=["prefill", "decode"],
+                      default="decode")
+    grid.add_argument("--batches", type=int, nargs="+",
+                      default=[1, 16, 64, 256, 900])
+    grid.add_argument("--lengths", type=int, nargs="+",
+                      default=[32, 256, 1024, 2048])
+
+    experiment = commands.add_parser(
+        "experiment", help="run experiment drivers (paper tables and "
+                           "figures)")
+    experiment.add_argument("ids", nargs="*",
+                            help="experiment ids, e.g. fig10 tab4; "
+                                 "empty runs everything")
+    experiment.add_argument("--list", action="store_true",
+                            help="list available experiment ids")
+    experiment.add_argument("--csv-dir", default="",
+                            help="also export each result as CSV here")
+    return parser
+
+
+def _cmd_models() -> int:
+    for name in sorted(MODEL_ZOO):
+        print(MODEL_ZOO[name].describe())
+    return 0
+
+
+def _cmd_systems() -> int:
+    for name in sorted(SYSTEM_ZOO):
+        system = SYSTEM_ZOO[name]
+        gpus = (system.gpu.name if system.n_gpus == 1
+                else f"{system.n_gpus}x {system.gpu.name}")
+        print(f"{name:>10}: {system.cpu.name} + {gpus} over "
+              f"{system.host_link.name}  "
+              f"(${system.price_usd:,.0f}, {system.tdp_watts:.0f} W)")
+    print(f"\nCPUs: {', '.join(sorted(CPU_ZOO))}")
+    print(f"GPUs: {', '.join(sorted(GPU_ZOO))}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=args.enforce_memory)
+    if args.cxl:
+        system = system.with_cxl(n_expanders=2)
+        config = config.with_cxl_weights()
+    estimator = LiaEstimator(spec, system, config)
+    request = InferenceRequest(args.batch, args.input_len,
+                               args.output_len)
+    estimate = estimator.estimate(request)
+    print(f"{spec.name} on {system.name}, B={args.batch}, "
+          f"L_in={args.input_len}, L_out={args.output_len}")
+    print(f"  prefill policy : {estimate.prefill_policy}")
+    print(f"  decode policy  : {estimate.decode_policy}")
+    print(f"  GPU-resident   : {estimate.residency.n_resident_layers}/"
+          f"{estimate.residency.n_layers} layers")
+    print(f"  latency        : {estimate.latency:.3f} s/query")
+    print(f"  throughput     : {estimate.throughput:.2f} tokens/s")
+    print(f"  host memory    : DDR {estimate.memory.ddr_bytes / 2**30:.1f}"
+          f" GiB, CXL {estimate.memory.cxl_bytes / 2**30:.1f} GiB")
+    breakdown = estimate.total
+    print(f"  busy time      : CPU {breakdown.cpu_compute:.2f} s, GPU "
+          f"{breakdown.gpu_compute:.2f} s, PCIe "
+          f"{breakdown.transfer:.2f} s")
+    return 0
+
+
+def _cmd_policy_map(args: argparse.Namespace) -> int:
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False)
+    stage = Stage(args.stage)
+    header = "   B\\L " + "".join(f"{length:>22}" for length in args.lengths)
+    print(f"{spec.name} on {system.name}, {stage.value} stage")
+    print(header)
+    for batch in args.batches:
+        cells = []
+        for length in args.lengths:
+            decision = optimal_policy(spec, stage, batch, length,
+                                      system, config)
+            cells.append(str(decision.policy))
+        print(f"{batch:>6} " + "".join(f"{c:>22}" for c in cells))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.export import default_drivers, to_csv
+
+    drivers = default_drivers()
+    if args.list:
+        print("\n".join(sorted(drivers)))
+        return 0
+    selected = args.ids or sorted(drivers)
+    unknown = [name for name in selected if name not in drivers]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    for name in selected:
+        result = drivers[name]()
+        print(result.render())
+        print()
+        if args.csv_dir:
+            path = to_csv(result, f"{args.csv_dir}/{name}.csv")
+            print(f"  wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "models":
+            return _cmd_models()
+        if args.command == "systems":
+            return _cmd_systems()
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "policy-map":
+            return _cmd_policy_map(args)
+        if args.command == "calibrate":
+            from repro.validation import calibration_ok, render_report
+            print(render_report())
+            return 0 if calibration_ok() else 1
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,294 @@
+"""End-to-end inference estimation for the LIA framework.
+
+Mirrors the paper's latency-model methodology (§7): the latency of a
+single decoder layer is evaluated separately for the prefill and each
+decoding step via Eq. (2) (with overlap per §5.2), multiplied by the
+number of decoder layers, and summed.  Optimization-1 splits layers
+into a GPU-resident group (no weight streaming; policies re-optimized
+with free weights) and a streamed group.
+
+The estimator also performs the memory accounting that drives every
+capacity result in the paper: host-side DDR/CXL placement (§6,
+Table 3), GPU working-set and residency packing (§5.2), and
+out-of-memory detection (Fig. 14's OOM entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import KvCachePlacement, LiaConfig, WeightPlacement
+from repro.core.gpu_residency import ResidencyPlan, plan_layer_residency
+from repro.core.latency import LayerLatency, layer_latency
+from repro.core.optimizer import PolicyDecision, optimal_policy, stage_layer_time
+from repro.core.policy import OffloadPolicy
+from repro.errors import CapacityError
+from repro.hardware.system import SystemConfig
+from repro.models.spec import ModelSpec
+from repro.models.sublayers import Stage
+from repro.models.workload import InferenceRequest
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Wall-clock and per-resource busy time of one stage.
+
+    ``time`` honors the overlap configuration; the busy-time fields
+    are serial sums (they feed Table 5 and the energy model).
+    """
+
+    time: float
+    cpu_compute: float
+    gpu_compute: float
+    transfer: float
+
+    def __add__(self, other: "StageBreakdown") -> "StageBreakdown":
+        return StageBreakdown(
+            time=self.time + other.time,
+            cpu_compute=self.cpu_compute + other.cpu_compute,
+            gpu_compute=self.gpu_compute + other.gpu_compute,
+            transfer=self.transfer + other.transfer,
+        )
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Byte-level accounting of one inference run."""
+
+    weight_bytes: float
+    kv_bytes: float
+    activation_bytes: float
+    ddr_bytes: float
+    cxl_bytes: float
+    gpu_bytes: float
+
+    @property
+    def host_bytes(self) -> float:
+        return self.ddr_bytes + self.cxl_bytes
+
+
+@dataclass(frozen=True)
+class InferenceEstimate:
+    """The result of estimating one request end to end."""
+
+    framework: str
+    model: str
+    system: str
+    request: InferenceRequest
+    prefill: StageBreakdown
+    decode: StageBreakdown
+    prefill_policy: OffloadPolicy
+    decode_policy: OffloadPolicy
+    residency: ResidencyPlan
+    memory: MemoryUsage
+
+    @property
+    def latency(self) -> float:
+        """End-to-end seconds per query (the Fig. 10 metric)."""
+        return self.prefill.time + self.decode.time
+
+    @property
+    def throughput(self) -> float:
+        """Generated tokens per second (the Fig. 11 metric)."""
+        if self.latency == 0.0:
+            return 0.0
+        return self.request.total_generated_tokens / self.latency
+
+    @property
+    def total(self) -> StageBreakdown:
+        return self.prefill + self.decode
+
+
+def host_memory_usage(spec: ModelSpec, request: InferenceRequest,
+                      system: SystemConfig,
+                      config: LiaConfig) -> MemoryUsage:
+    """Place weights, KV cache, and activations into DDR/CXL pools."""
+    weights = float(spec.total_param_bytes)
+    kv = float(spec.kv_cache_bytes(request.batch_size,
+                                   request.input_len + request.output_len))
+    activations = float(spec.peak_activation_bytes(request.batch_size,
+                                                   request.input_len))
+    ddr = 0.0
+    cxl = 0.0
+    if config.weight_placement is WeightPlacement.CXL:
+        cxl += weights
+    else:
+        ddr += weights
+    if config.kv_placement is KvCachePlacement.CXL:
+        cxl += kv + activations
+    else:
+        # Recency-window KV tiering spills the cold fraction to CXL.
+        cxl += kv * config.kv_cxl_fraction
+        ddr += kv * (1.0 - config.kv_cxl_fraction) + activations
+    return MemoryUsage(weight_bytes=weights, kv_bytes=kv,
+                       activation_bytes=activations, ddr_bytes=ddr,
+                       cxl_bytes=cxl, gpu_bytes=0.0)
+
+
+def check_host_capacity(memory: MemoryUsage, system: SystemConfig) -> None:
+    """Raise :class:`CapacityError` when host pools overflow."""
+    ddr_capacity = system.cpu.memory.capacity_bytes
+    if memory.ddr_bytes > ddr_capacity:
+        raise CapacityError(
+            f"{system.name}: DDR needs {memory.ddr_bytes / 2**30:.1f} GiB "
+            f"but has {ddr_capacity / 2**30:.1f} GiB",
+            requested=memory.ddr_bytes, available=ddr_capacity,
+            device=system.cpu.memory.name)
+    if memory.cxl_bytes > 0.0:
+        cxl_capacity = system.cxl_pool.capacity_bytes
+        if memory.cxl_bytes > cxl_capacity:
+            raise CapacityError(
+                f"{system.name}: CXL needs "
+                f"{memory.cxl_bytes / 2**30:.1f} GiB but has "
+                f"{cxl_capacity / 2**30:.1f} GiB",
+                requested=memory.cxl_bytes, available=cxl_capacity,
+                device="cxl-pool")
+
+
+class LiaEstimator:
+    """Analytic twin of the LIA runtime for one (model, system) pair."""
+
+    framework_name = "lia"
+
+    def __init__(self, spec: ModelSpec, system: SystemConfig,
+                 config: Optional[LiaConfig] = None) -> None:
+        self.spec = spec
+        self.system = system
+        self.config = config or LiaConfig()
+
+    # ------------------------------------------------------------------
+    def estimate(self, request: InferenceRequest) -> InferenceEstimate:
+        """Estimate latency, throughput, and memory for one request."""
+        memory = host_memory_usage(self.spec, request, self.system,
+                                   self.config)
+        if self.config.enforce_host_capacity:
+            check_host_capacity(memory, self.system)
+        residency = plan_layer_residency(self.spec, self.system, request,
+                                         self.config)
+        gpu_bytes = residency.resident_bytes + residency.working_bytes
+        if gpu_bytes > self.system.gpu.memory_capacity:
+            raise CapacityError(
+                f"{self.system.name}: GPU working set "
+                f"{gpu_bytes / 2**30:.1f} GiB exceeds "
+                f"{self.system.gpu.memory_capacity / 2**30:.1f} GiB",
+                requested=gpu_bytes,
+                available=self.system.gpu.memory_capacity,
+                device=self.system.gpu.name)
+        memory = MemoryUsage(
+            weight_bytes=memory.weight_bytes, kv_bytes=memory.kv_bytes,
+            activation_bytes=memory.activation_bytes,
+            ddr_bytes=memory.ddr_bytes, cxl_bytes=memory.cxl_bytes,
+            gpu_bytes=gpu_bytes)
+
+        prefill = self._prefill_breakdown(request, residency)
+        decode, decode_policy = self._decode_breakdown(request, residency)
+        prefill_policy = self._stage_policy(Stage.PREFILL,
+                                            request.batch_size,
+                                            request.input_len).policy
+        return InferenceEstimate(
+            framework=self.framework_name,
+            model=self.spec.name,
+            system=self.system.name,
+            request=request,
+            prefill=prefill,
+            decode=decode,
+            prefill_policy=prefill_policy,
+            decode_policy=decode_policy,
+            residency=residency,
+            memory=memory,
+        )
+
+    def max_feasible_batch(self, input_len: int, output_len: int,
+                           hi: int = 1 << 14) -> int:
+        """Largest batch size whose host memory footprint fits — the
+        quantity CXL offloading raises in Table 3 and the abstract's
+        900 -> 1.6K claim."""
+        def fits(batch_size: int) -> bool:
+            request = InferenceRequest(batch_size, input_len, output_len)
+            try:
+                check_host_capacity(
+                    host_memory_usage(self.spec, request, self.system,
+                                      self.config),
+                    self.system)
+            except CapacityError:
+                return False
+            return True
+
+        if not fits(1):
+            return 0
+        if fits(hi):
+            return hi
+        low, high = 1, hi
+        while high - low > 1:
+            mid = (low + high) // 2
+            if fits(mid):
+                low = mid
+            else:
+                high = mid
+        return low
+
+    # ------------------------------------------------------------------
+    def _stage_policy(self, stage: Stage, batch_size: int,
+                      context_len: int,
+                      weights_resident: bool = False) -> PolicyDecision:
+        return optimal_policy(self.spec, stage, batch_size, context_len,
+                              self.system, self.config,
+                              weights_resident=weights_resident)
+
+    def _mixed_layer_breakdown(self, stage: Stage, batch_size: int,
+                               context_len: int,
+                               residency: ResidencyPlan,
+                               streamed_policy: OffloadPolicy,
+                               resident_policy: OffloadPolicy
+                               ) -> StageBreakdown:
+        """One decoder-layer 'tick' averaged over resident and
+        streamed layers, scaled to all layers."""
+        n_resident = residency.n_resident_layers
+        n_streamed = residency.n_layers - n_resident
+        total = StageBreakdown(0.0, 0.0, 0.0, 0.0)
+        for count, policy, resident in (
+                (n_streamed, streamed_policy, False),
+                (n_resident, resident_policy, True)):
+            if count == 0:
+                continue
+            layer = layer_latency(self.spec, stage, policy, batch_size,
+                                  context_len, self.system, self.config,
+                                  weights_resident=resident)
+            time = stage_layer_time(layer, stage, self.config)
+            total = total + StageBreakdown(
+                time=time * count,
+                cpu_compute=layer.cpu_compute * count,
+                gpu_compute=layer.gpu_compute * count,
+                transfer=layer.transfer * count)
+        return total
+
+    def _prefill_breakdown(self, request: InferenceRequest,
+                           residency: ResidencyPlan) -> StageBreakdown:
+        streamed = self._stage_policy(Stage.PREFILL, request.batch_size,
+                                      request.input_len)
+        resident = self._stage_policy(Stage.PREFILL, request.batch_size,
+                                      request.input_len,
+                                      weights_resident=True)
+        return self._mixed_layer_breakdown(
+            Stage.PREFILL, request.batch_size, request.input_len,
+            residency, streamed.policy, resident.policy)
+
+    def _decode_breakdown(self, request: InferenceRequest,
+                          residency: ResidencyPlan):
+        """Sum decode-step latencies over the growing context.
+
+        The decode policy is chosen once (it depends on B, not L —
+        §7.1) and reused for every generated token.
+        """
+        streamed = self._stage_policy(Stage.DECODE, request.batch_size,
+                                      request.input_len)
+        resident = self._stage_policy(Stage.DECODE, request.batch_size,
+                                      request.input_len,
+                                      weights_resident=True)
+        total = StageBreakdown(0.0, 0.0, 0.0, 0.0)
+        for context_len in request.decode_context_lengths():
+            total = total + self._mixed_layer_breakdown(
+                Stage.DECODE, request.batch_size, context_len,
+                residency, streamed.policy, resident.policy)
+        return total, streamed.policy

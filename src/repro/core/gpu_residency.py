@@ -1,0 +1,165 @@
+"""Optimization-1: packing weights into unused GPU memory (§5.2).
+
+LIA packs **whole decoder layers** into whatever GPU memory the
+working buffers leave free; resident layers never stream weights over
+PCIe.  FlexGen instead packs **one sublayer class across all layers**
+at a time (e.g. all output projections), a coarser granularity that
+wastes the capacity remainder — §5.2's OPT-30B example: LIA places
+62 % of layers with 35 GB while FlexGen places 58 % of sublayers with
+32 GB on a 40 GB A100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.config import LiaConfig
+from repro.errors import ConfigurationError
+from repro.hardware.system import SystemConfig
+from repro.models.spec import ModelSpec
+from repro.models.sublayers import Stage, Sublayer, sublayer_cost
+from repro.models.workload import InferenceRequest
+
+
+@dataclass(frozen=True)
+class ResidencyPlan:
+    """How much of the model lives permanently in GPU memory."""
+
+    #: "layer" (LIA) or "sublayer-class" (FlexGen).
+    granularity: str
+    n_layers: int
+    n_resident_layers: int
+    resident_bytes: float
+    working_bytes: float
+    #: FlexGen only: which sublayer classes are resident everywhere.
+    resident_sublayers: Tuple[Sublayer, ...] = ()
+
+    @property
+    def resident_fraction(self) -> float:
+        """Fraction of decoder layers fully resident (LIA) — 0 for the
+        sublayer-class plan, which uses `resident_weight_fraction`."""
+        if self.n_layers == 0:
+            return 0.0
+        return self.n_resident_layers / self.n_layers
+
+
+#: Prefill activations and streamed KV slices are chunked to bounded
+#: fractions of HBM — the pipeline can always split a batch further,
+#: at (modelled-elsewhere) overlap cost, so neither term is allowed to
+#: exceed these shares of GPU capacity.
+_ACTIVATION_CAP_FRACTION = 0.15
+_KV_SLICE_CAP_FRACTION = 0.25
+
+
+def gpu_working_set_bytes(spec: ModelSpec, request: InferenceRequest,
+                          config: LiaConfig,
+                          gpu_capacity: float = float("inf")) -> float:
+    """GPU memory the streaming pipeline needs before residency packs
+    anything: double-buffered layer weights, the live activation
+    chunk, and a streamed per-layer KV slice (in case attention
+    scoring runs on the GPU)."""
+    weights = 2.0 * spec.layer_param_bytes
+    # Prefill computes one mini-batch at a time, so only that chunk's
+    # activations are live on the GPU.
+    chunk = max(request.batch_size // max(config.prefill_minibatches, 1),
+                1)
+    activations = spec.peak_activation_bytes(chunk,
+                                             max(request.input_len, 1))
+    activations = min(activations, _ACTIVATION_CAP_FRACTION * gpu_capacity)
+    # GPU-side attention streams the KV cache in chunks (FlexGen-style
+    # blocked attention).
+    kv_layer = (2 * request.batch_size * request.max_context_len
+                * spec.kv_dim * spec.bytes_per_param)
+    kv_slice = min(0.5 * kv_layer, _KV_SLICE_CAP_FRACTION * gpu_capacity)
+    return weights + activations + kv_slice
+
+
+def _available_bytes(spec: ModelSpec, system: SystemConfig,
+                     request: InferenceRequest, config: LiaConfig,
+                     extra_reserved_bytes: float = 0.0) -> float:
+    capacity = system.gpu.memory_capacity * (1.0
+                                             - config.gpu_working_reserve)
+    working = gpu_working_set_bytes(spec, request, config,
+                                    gpu_capacity=system.gpu.memory_capacity)
+    return capacity - working - extra_reserved_bytes
+
+
+def plan_layer_residency(spec: ModelSpec, system: SystemConfig,
+                         request: InferenceRequest,
+                         config: LiaConfig) -> ResidencyPlan:
+    """LIA's plan: greedily pack whole decoder layers (§5.2)."""
+    working = gpu_working_set_bytes(spec, request, config,
+                                    gpu_capacity=system.gpu.memory_capacity)
+    if not config.gpu_residency:
+        return ResidencyPlan(granularity="layer", n_layers=spec.n_layers,
+                             n_resident_layers=0, resident_bytes=0.0,
+                             working_bytes=working)
+    available = _available_bytes(spec, system, request, config)
+    per_layer = float(spec.layer_param_bytes)
+    n_resident = int(max(0.0, available) // per_layer)
+    n_resident = min(n_resident, spec.n_layers)
+    return ResidencyPlan(
+        granularity="layer",
+        n_layers=spec.n_layers,
+        n_resident_layers=n_resident,
+        resident_bytes=n_resident * per_layer,
+        working_bytes=working,
+    )
+
+
+def sublayer_class_bytes(spec: ModelSpec, sublayer: Sublayer) -> float:
+    """Weight bytes of one sublayer class across *all* decoder layers
+    (FlexGen's packing unit).  KV sublayers have no weights."""
+    if not sublayer.uses_parameters:
+        return 0.0
+    cost = sublayer_cost(spec, sublayer, Stage.DECODE, batch_size=1,
+                         seq_len=1)
+    return cost.d_y * spec.n_layers
+
+
+def plan_sublayer_residency(spec: ModelSpec, system: SystemConfig,
+                            request: InferenceRequest,
+                            config: LiaConfig,
+                            extra_reserved_bytes: float = 0.0
+                            ) -> ResidencyPlan:
+    """FlexGen's plan: pack whole sublayer classes, smallest first.
+
+    Packing smallest-first maximizes the number of resident classes;
+    the coarse granularity strands capacity that LIA's layer plan
+    would use (§5.2).
+    """
+    working = gpu_working_set_bytes(spec, request, config,
+                                    gpu_capacity=system.gpu.memory_capacity)
+    if not config.gpu_residency:
+        return ResidencyPlan(granularity="sublayer-class",
+                             n_layers=spec.n_layers, n_resident_layers=0,
+                             resident_bytes=0.0, working_bytes=working)
+    available = _available_bytes(spec, system, request, config,
+                                 extra_reserved_bytes)
+    classes = sorted(
+        ((sublayer_class_bytes(spec, s), s)
+         for s in Sublayer if s.uses_parameters),
+        key=lambda pair: pair[0])
+    resident: list = []
+    used = 0.0
+    for size, sub in classes:
+        if used + size <= available:
+            resident.append(sub)
+            used += size
+    return ResidencyPlan(
+        granularity="sublayer-class",
+        n_layers=spec.n_layers,
+        n_resident_layers=0,
+        resident_bytes=used,
+        working_bytes=working,
+        resident_sublayers=tuple(resident),
+    )
+
+
+def resident_weight_fraction(spec: ModelSpec, plan: ResidencyPlan) -> float:
+    """Fraction of decoder weight bytes resident under either plan."""
+    total = float(spec.layer_param_bytes * spec.n_layers)
+    if total == 0.0:
+        raise ConfigurationError("model has no decoder weights")
+    return min(1.0, plan.resident_bytes / total)

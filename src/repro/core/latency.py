@@ -1,0 +1,307 @@
+"""Decoder-layer latency model — Equations (2) through (9) of §5.1.
+
+For a policy vector ``p`` the latency of one decoder layer is
+
+.. math::
+
+    T(p) = \\sum_{i=1}^{6} (T_{i,load}(p) + T_{i,comp}(p)
+            + T_{i,store}(p)),
+
+with load time split into the activation (:math:`X_i`), the weights or
+KV cache (:math:`Y_i`), and the residual operand (:math:`R_i`).
+
+Two conventions, documented in DESIGN.md §1:
+
+* The paper's Eqs. (5), (8), (9) have their conditions flipped
+  relative to its own p_i = 1 ⇒ CPU convention; we implement the
+  physically consistent version (weights cross PCIe when the consumer
+  is the GPU, etc.).
+* Eq. (6) charges the residual transfer at the *residual operand's*
+  size (``B·t·d_m`` elements).  The FC2 input ``D_X6`` is 4x wider
+  than its residual; we move only the residual.
+
+Memory tiering (§6) enters in two places: the *source bandwidth* of
+PCIe weight transfers (a slow CXL pool can throttle the link,
+Observation-1) and a slow-tier term in CPU compute (Observation-2's
+degradation, which the roofline reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, List, Tuple
+
+from repro.core.config import KvCachePlacement, LiaConfig, WeightPlacement
+from repro.core.policy import Device, OffloadPolicy
+from repro.errors import ConfigurationError
+from repro.hardware.roofline import ComputeEngine, MatmulKind
+from repro.hardware.system import SystemConfig
+from repro.models.spec import ModelSpec
+from repro.models.sublayers import (
+    RESIDUAL_SOURCE,
+    Stage,
+    Sublayer,
+    SublayerCost,
+    sublayer_cost,
+)
+from repro.units import us
+
+#: Device-boundary synchronization cost charged per cross-device
+#: activation/residual hand-off: stream synchronization, host-side
+#: dispatch, and cache-coherence settling.  It keeps near-tie policy
+#: comparisons honest — ping-ponging a sublayer across PCIe for a
+#: marginal compute win never pays in the real runtime.
+BOUNDARY_SYNC_LATENCY = us(100.0)
+
+
+@dataclass(frozen=True)
+class SublayerLatency:
+    """Latency decomposition of one sublayer under a policy."""
+
+    sublayer: Sublayer
+    device: Device
+    cost: SublayerCost
+    t_load_x: float
+    t_load_y: float
+    t_load_r: float
+    t_comp: float
+    t_store: float
+    #: True when ``t_load_y`` is a weight transfer that a prefetcher
+    #: could issue ahead of time (Optimization-2 overlap).
+    y_prefetchable: bool
+    #: Bytes actually moved over PCIe by each term (zero when the
+    #: corresponding condition of Eqs. (4)-(9) does not fire) — the
+    #: basis of §7.2's transfer-reduction accounting.
+    bytes_x: float = 0.0
+    bytes_y: float = 0.0
+    bytes_r: float = 0.0
+    bytes_store: float = 0.0
+
+    @property
+    def t_load(self) -> float:
+        return self.t_load_x + self.t_load_y + self.t_load_r
+
+    @property
+    def total(self) -> float:
+        return self.t_load + self.t_comp + self.t_store
+
+    @property
+    def transfer_bytes(self) -> float:
+        """All PCIe bytes this sublayer moves."""
+        return (self.bytes_x + self.bytes_y + self.bytes_r
+                + self.bytes_store)
+
+
+@dataclass(frozen=True)
+class LayerLatency:
+    """Latency of one decoder layer: per-sublayer parts and rollups."""
+
+    stage: Stage
+    policy: OffloadPolicy
+    sublayers: Tuple[SublayerLatency, ...]
+
+    @property
+    def total(self) -> float:
+        """Serial (non-overlapped) layer latency, Eq. (2)."""
+        return sum(s.total for s in self.sublayers)
+
+    @property
+    def cpu_compute(self) -> float:
+        return sum(s.t_comp for s in self.sublayers
+                   if s.device is Device.CPU)
+
+    @property
+    def gpu_compute(self) -> float:
+        return sum(s.t_comp for s in self.sublayers
+                   if s.device is Device.GPU)
+
+    @property
+    def compute(self) -> float:
+        return self.cpu_compute + self.gpu_compute
+
+    @property
+    def transfer(self) -> float:
+        """All PCIe time: loads plus stores."""
+        return sum(s.t_load + s.t_store for s in self.sublayers)
+
+    @property
+    def prefetchable_transfer(self) -> float:
+        """Weight transfers that overlap can hide (next-layer
+        prefetch)."""
+        return sum(s.t_load_y for s in self.sublayers if s.y_prefetchable)
+
+    @property
+    def dependent_transfer(self) -> float:
+        """Transfers on the intra-layer critical path (activations,
+        residuals, KV movement)."""
+        return self.transfer - self.prefetchable_transfer
+
+    @property
+    def transfer_bytes(self) -> float:
+        """Total PCIe bytes the layer moves (§7.2's metric)."""
+        return sum(s.transfer_bytes for s in self.sublayers)
+
+
+def _cpu_engine(system: SystemConfig, config: LiaConfig) -> ComputeEngine:
+    # CPUs without the configured engine (e.g. Grace has SVE2, not
+    # AMX) fall back to their best matmul engine.
+    if config.cpu_engine in system.cpu.engines:
+        return system.cpu.engine(config.cpu_engine)
+    return system.cpu.best_engine
+
+
+def _weight_pool_bandwidth(system: SystemConfig,
+                           config: LiaConfig) -> float:
+    """Streaming bandwidth of the pool holding model weights."""
+    if config.weight_placement is WeightPlacement.CXL:
+        if not system.has_cxl:
+            raise ConfigurationError(
+                f"{system.name}: weight_placement=CXL but the system "
+                "has no CXL expanders (use system.with_cxl())")
+        return system.cxl_pool.bandwidth
+    return system.cpu.memory.bandwidth
+
+
+def _kv_pool_bandwidth(system: SystemConfig, config: LiaConfig) -> float:
+    """Streaming bandwidth of the pool holding KV cache/activations."""
+    if config.kv_placement is KvCachePlacement.CXL:
+        if not system.has_cxl:
+            raise ConfigurationError(
+                f"{system.name}: kv_placement=CXL but the system has "
+                "no CXL expanders (use system.with_cxl())")
+        return system.cxl_pool.bandwidth
+    return system.cpu.memory.bandwidth
+
+
+def layer_latency(spec: ModelSpec, stage: Stage, policy: OffloadPolicy,
+                  batch_size: int, context_len: int,
+                  system: SystemConfig, config: LiaConfig,
+                  weights_resident: bool = False,
+                  resident_sublayers: Collection[Sublayer] = (),
+                  kv_resident: bool = False) -> LayerLatency:
+    """Latency of one decoder layer under ``policy`` (Eq. 2).
+
+    ``context_len`` is the attention span ``L``: the prompt length in
+    prefill, or the current KV-cache length during decoding.  With
+    ``weights_resident=True`` the layer's weights already sit in GPU
+    memory (LIA's Optimization-1) and GPU-computed parameter sublayers
+    skip their PCIe weight loads; ``resident_sublayers`` grants the
+    same per sublayer class (FlexGen's coarser packing).  With
+    ``kv_resident=True`` the KV cache's home is GPU memory instead of
+    host memory (FlexGen at B=1, §3), flipping the direction of the
+    Eq. (5) decode KV loads and the Eq. (9) store.
+    """
+    cpu = _cpu_engine(system, config)
+    gpu = system.gpu.engine
+    link = system.host_link
+    weight_bw = _weight_pool_bandwidth(system, config)
+    kv_bw = _kv_pool_bandwidth(system, config)
+    ddr_bw = system.cpu.memory.bandwidth
+
+    parts: List[SublayerLatency] = []
+    for sub in Sublayer:
+        cost = sublayer_cost(spec, sub, stage, batch_size, context_len)
+        i = int(sub)
+        on_cpu = policy.on_cpu(sub)
+
+        # --- Eq. (4): activation load when crossing the device
+        # boundary.  p_0 = p_6 (previous layer's last sublayer).
+        t_load_x = 0.0
+        bytes_x = 0.0
+        if policy.crosses_boundary(i):
+            bytes_x = cost.d_x
+            t_load_x = (BOUNDARY_SYNC_LATENCY
+                        + link.transfer_time(cost.d_x,
+                                             source_bandwidth=kv_bw))
+
+        # --- Eq. (5)/(7): second-operand load.
+        t_load_y = 0.0
+        bytes_y = 0.0
+        y_prefetchable = False
+        if sub.uses_parameters:
+            resident = weights_resident or sub in resident_sublayers
+            if not on_cpu and not resident:
+                bytes_y = cost.d_y
+                t_load_y = link.transfer_time(
+                    cost.d_y, source_bandwidth=weight_bw)
+                y_prefetchable = True
+        elif stage is Stage.PREFILL:
+            # Eq. (7), made consistent with the Eq. (9) store: the
+            # fresh K/V exist on sublayer 1's device and (after the
+            # store) at their host home, so a transfer is needed only
+            # when a GPU consumer faces CPU-generated KV.  The paper's
+            # printed XOR would double-charge the GPU->CPU direction
+            # already covered by Eq. (9).
+            if not on_cpu and policy.p(1) == 1:
+                bytes_y = cost.d_y
+                t_load_y = link.transfer_time(
+                    cost.d_y, source_bandwidth=kv_bw)
+        else:
+            # Decode: the KV cache is fetched from its home memory
+            # (host in LIA; GPU when kv_resident).
+            kv_on_cpu = not kv_resident
+            if on_cpu != kv_on_cpu:
+                bytes_y = cost.d_y
+                t_load_y = link.transfer_time(
+                    cost.d_y, source_bandwidth=kv_bw)
+
+        # --- Eq. (6): residual operand load.  The residual is the
+        # d_m-wide hidden state, regardless of the sublayer's own
+        # input width.
+        t_load_r = 0.0
+        bytes_r = 0.0
+        source = RESIDUAL_SOURCE.get(sub)
+        if source is not None and policy.p(i) != policy.p(int(source)):
+            tokens = context_len if stage is Stage.PREFILL else 1
+            bytes_r = (batch_size * tokens * spec.d_model
+                       * spec.bytes_per_param)
+            t_load_r = (BOUNDARY_SYNC_LATENCY
+                        + link.transfer_time(bytes_r,
+                                             source_bandwidth=kv_bw))
+
+        # --- Eq. (8): compute on the chosen engine.
+        kind = MatmulKind.GEMM
+        if sub.uses_kv_cache and stage is Stage.DECODE:
+            kind = MatmulKind.BATCHED_GEMV
+        if on_cpu:
+            slow_bytes = 0.0
+            slow_bw = float("inf")
+            if sub.uses_parameters and weight_bw < ddr_bw:
+                slow_bytes += cost.d_y
+                slow_bw = weight_bw
+            if sub.uses_kv_cache and kv_bw < ddr_bw:
+                slow_bytes += cost.d_y
+                slow_bw = kv_bw
+            elif (sub.uses_kv_cache and stage is Stage.DECODE
+                    and config.kv_cxl_fraction > 0.0 and system.has_cxl):
+                # Recency-window tiering: the cold prefix of the cache
+                # streams from CXL, the hot tail from DDR.
+                slow_bytes += cost.d_y * config.kv_cxl_fraction
+                slow_bw = system.cxl_pool.bandwidth
+            fast_bytes = cost.d_x + cost.d_y - slow_bytes
+            t_comp = cpu.matmul_time(cost.flops, fast_bytes, kind,
+                                     slow_bytes=slow_bytes,
+                                     slow_bandwidth=slow_bw)
+        else:
+            t_comp = gpu.matmul_time(cost.flops, cost.d_x + cost.d_y,
+                                     kind)
+
+        # --- Eq. (9): KV-cache store back to its home memory when
+        # generated on the other device.
+        t_store = 0.0
+        bytes_store = 0.0
+        kv_home_is_cpu = not kv_resident
+        if sub is Sublayer.QKV_MAPPING and on_cpu != kv_home_is_cpu:
+            bytes_store = cost.d_kv_out
+            t_store = link.transfer_time(cost.d_kv_out,
+                                         source_bandwidth=kv_bw)
+
+        parts.append(SublayerLatency(
+            sublayer=sub, device=policy.device(sub), cost=cost,
+            t_load_x=t_load_x, t_load_y=t_load_y, t_load_r=t_load_r,
+            t_comp=t_comp, t_store=t_store,
+            y_prefetchable=y_prefetchable,
+            bytes_x=bytes_x, bytes_y=bytes_y, bytes_r=bytes_r,
+            bytes_store=bytes_store))
+    return LayerLatency(stage=stage, policy=policy,
+                        sublayers=tuple(parts))

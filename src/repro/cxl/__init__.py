@@ -1,0 +1,33 @@
+"""CXL memory offloading (§6).
+
+* :mod:`repro.cxl.bandwidth` — the Fig. 8 characterization: CXL-GPU
+  transfer bandwidth vs. data size and interleaving width
+  (Observation-1), and AMX throughput degradation when operands live
+  in CXL (Observation-2).
+* :mod:`repro.cxl.allocator` — byte-accurate placement of named
+  allocations across DDR and CXL pools.
+* :mod:`repro.cxl.tiering` — the memory-offloading policy: all
+  parameters in CXL, KV cache and activations in DDR; DDR savings and
+  the larger feasible batch sizes of Table 3.
+"""
+
+from repro.cxl.allocator import Allocation, TieredAllocator
+from repro.cxl.bandwidth import (
+    cpu_throughput_degradation,
+    transfer_bandwidth_series,
+)
+from repro.cxl.tiering import (
+    CxlTieringPlan,
+    adaptive_config,
+    plan_tiering,
+)
+
+__all__ = [
+    "Allocation",
+    "TieredAllocator",
+    "cpu_throughput_degradation",
+    "transfer_bandwidth_series",
+    "CxlTieringPlan",
+    "adaptive_config",
+    "plan_tiering",
+]

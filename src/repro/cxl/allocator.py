@@ -1,0 +1,111 @@
+"""Byte-accurate tiered memory allocator.
+
+Tracks named allocations across a set of memory pools (DDR, CXL
+expanders, HBM), refusing over-commit — the accounting substrate
+behind the Table 3 capacity results and the "900 -> 1.6K max batch"
+claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.memory import MemoryDevice
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live allocation in a pool."""
+
+    label: str
+    pool: str
+    num_bytes: float
+
+
+class TieredAllocator:
+    """First-fit allocator over named memory pools.
+
+    Pools are registered with their :class:`MemoryDevice`; allocations
+    target a pool explicitly (the §6 policy decides placement, not the
+    allocator).
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, MemoryDevice] = {}
+        self._allocations: Dict[str, Allocation] = {}
+
+    # ------------------------------------------------------------------
+    def add_pool(self, device: MemoryDevice) -> None:
+        """Register a pool; names must be unique."""
+        if device.name in self._pools:
+            raise ConfigurationError(f"duplicate pool: {device.name}")
+        self._pools[device.name] = device
+
+    def pools(self) -> List[str]:
+        return sorted(self._pools)
+
+    def capacity(self, pool: str) -> float:
+        return self._pool(pool).capacity_bytes
+
+    def used(self, pool: str) -> float:
+        return sum(a.num_bytes for a in self._allocations.values()
+                   if a.pool == pool)
+
+    def free(self, pool: str) -> float:
+        return self.capacity(pool) - self.used(pool)
+
+    def utilization(self, pool: str) -> float:
+        return self.used(pool) / self.capacity(pool)
+
+    # ------------------------------------------------------------------
+    def allocate(self, label: str, pool: str,
+                 num_bytes: float) -> Allocation:
+        """Reserve ``num_bytes`` in ``pool`` under a unique label."""
+        if num_bytes < 0.0:
+            raise ConfigurationError(
+                f"allocation {label!r}: size must be >= 0")
+        if label in self._allocations:
+            raise ConfigurationError(f"duplicate allocation: {label!r}")
+        device = self._pool(pool)
+        if num_bytes > self.free(pool):
+            raise CapacityError(
+                f"pool {pool!r}: cannot allocate "
+                f"{num_bytes / 2**30:.1f} GiB for {label!r}; "
+                f"{self.free(pool) / 2**30:.1f} GiB free",
+                requested=num_bytes, available=self.free(pool),
+                device=device.name)
+        allocation = Allocation(label=label, pool=pool,
+                                num_bytes=num_bytes)
+        self._allocations[label] = allocation
+        return allocation
+
+    def release(self, label: str) -> None:
+        """Free an allocation by label."""
+        if label not in self._allocations:
+            raise ConfigurationError(f"unknown allocation: {label!r}")
+        del self._allocations[label]
+
+    def allocation(self, label: str) -> Allocation:
+        try:
+            return self._allocations[label]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown allocation: {label!r}") from None
+
+    def allocations(self, pool: str = "") -> List[Allocation]:
+        """All live allocations, optionally filtered to one pool."""
+        values = sorted(self._allocations.values(), key=lambda a: a.label)
+        if pool:
+            values = [a for a in values if a.pool == pool]
+        return values
+
+    # ------------------------------------------------------------------
+    def _pool(self, name: str) -> MemoryDevice:
+        try:
+            return self._pools[name]
+        except KeyError:
+            known = ", ".join(self.pools())
+            raise ConfigurationError(
+                f"unknown pool {name!r}; pools: {known}") from None

@@ -1,0 +1,17 @@
+"""Energy and cost models (Fig. 12, Fig. 14, §8)."""
+
+from repro.energy.power import EnergyReport, PowerModel, energy_per_token
+from repro.energy.cost import (
+    CostModel,
+    cost_per_million_tokens,
+    memory_system_cost,
+)
+
+__all__ = [
+    "EnergyReport",
+    "PowerModel",
+    "energy_per_token",
+    "CostModel",
+    "cost_per_million_tokens",
+    "memory_system_cost",
+]

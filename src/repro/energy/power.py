@@ -1,0 +1,81 @@
+"""System power and per-token energy (Fig. 12).
+
+The paper measures wall power with ipmitool and multiplies by latency.
+The model decomposes average power into static platform power, per-
+device idle power, and per-device dynamic power scaled by that
+device's busy fraction during the run — which reproduces Fig. 12's
+two key behaviours: short-latency runs amortize static power better
+(LIA vs FlexGen at small B), and pushing compute-intensive stages to
+the GPU is more energy-efficient than AMX (LIA vs IPEX at long L_in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import InferenceEstimate
+from repro.errors import ConfigurationError
+from repro.hardware.system import SystemConfig
+
+#: Fraction of a device's TDP drawn while idle.
+IDLE_POWER_FRACTION = 0.35
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one inference run."""
+
+    average_power_watts: float
+    latency_seconds: float
+    tokens: int
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.average_power_watts * self.latency_seconds
+
+    @property
+    def energy_per_token_joules(self) -> float:
+        if self.tokens == 0:
+            raise ConfigurationError("run generated zero tokens")
+        return self.total_energy_joules / self.tokens
+
+
+class PowerModel:
+    """Average-power model for one system."""
+
+    def __init__(self, system: SystemConfig,
+                 idle_fraction: float = IDLE_POWER_FRACTION) -> None:
+        if not 0.0 <= idle_fraction <= 1.0:
+            raise ConfigurationError(
+                f"idle_fraction must be in [0, 1], got {idle_fraction}")
+        self.system = system
+        self.idle_fraction = idle_fraction
+
+    def average_power(self, estimate: InferenceEstimate) -> float:
+        """Average wall power over the run, in watts."""
+        latency = estimate.latency
+        if latency <= 0.0:
+            raise ConfigurationError("estimate has zero latency")
+        cpu_util = min(1.0, estimate.total.cpu_compute / latency)
+        gpu_util = min(1.0, estimate.total.gpu_compute / latency)
+        cpu_tdp = self.system.cpu.tdp_watts
+        gpu_tdp = sum(g.tdp_watts for g in self.system.gpus)
+        cpu_power = cpu_tdp * (self.idle_fraction
+                               + (1.0 - self.idle_fraction) * cpu_util)
+        gpu_power = gpu_tdp * (self.idle_fraction
+                               + (1.0 - self.idle_fraction) * gpu_util)
+        return self.system.platform_power_watts + cpu_power + gpu_power
+
+    def report(self, estimate: InferenceEstimate) -> EnergyReport:
+        """Full energy report for one run."""
+        return EnergyReport(
+            average_power_watts=self.average_power(estimate),
+            latency_seconds=estimate.latency,
+            tokens=estimate.request.total_generated_tokens,
+        )
+
+
+def energy_per_token(system: SystemConfig,
+                     estimate: InferenceEstimate) -> float:
+    """Joules per generated token (the Fig. 12 metric)."""
+    return PowerModel(system).report(estimate).energy_per_token_joules

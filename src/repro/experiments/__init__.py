@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.reporting.ExperimentResult` whose rows are
+the same series the paper plots.  The ``benchmarks/`` tree wraps these
+with pytest-benchmark and asserts the paper's qualitative claims.
+"""
+
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.frameworks import build_estimator, FRAMEWORKS
+
+__all__ = ["ExperimentResult", "format_table", "build_estimator",
+           "FRAMEWORKS"]

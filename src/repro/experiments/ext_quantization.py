@@ -1,0 +1,67 @@
+"""Extension study: W8A16 weight quantization under LIA.
+
+Not a paper figure — the paper's §1 discusses quantization as the
+*alternative* to offloading (with accuracy caveats) and §2.2 notes AMX
+supports INT8 natively.  This extension asks the natural follow-up:
+how much does INT8 *weight* storage help LIA itself?  Every Table 1
+``D_Y`` term halves, so
+
+* CPU-computed parameter sublayers stream weights from DDR twice as
+  fast (B=1 decoding approaches 2x),
+* GPU weight transfers over PCIe halve (FlexGen-style streaming and
+  LIA's prefill benefit),
+* the host footprint shrinks, raising the maximum feasible batch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.estimator import LiaEstimator
+from repro.experiments.frameworks import EVAL_CONFIG
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.quantize import quantize_weights
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def run(model: str = "opt-175b", system_name: str = "spr-a100",
+        batch_sizes: Sequence[int] = (1, 64, 900),
+        input_len: int = 256, output_len: int = 32) -> ExperimentResult:
+    """BF16 vs W8A16 latency/throughput and max-batch comparison."""
+    bf16 = get_model(model)
+    int8 = quantize_weights(bf16)
+    system = get_system(system_name)
+    result = ExperimentResult(
+        experiment_id="ext-int8",
+        title=f"W8A16 weight quantization, {model} on {system_name}")
+    bf16_estimator = LiaEstimator(bf16, system, EVAL_CONFIG)
+    int8_estimator = LiaEstimator(int8, system, EVAL_CONFIG)
+    for batch_size in batch_sizes:
+        request = InferenceRequest(batch_size, input_len, output_len)
+        base = bf16_estimator.estimate(request)
+        quant = int8_estimator.estimate(request)
+        result.add_row(
+            batch_size=batch_size,
+            bf16_latency_s=base.latency,
+            int8_latency_s=quant.latency,
+            speedup=base.latency / quant.latency,
+            bf16_host_gb=base.memory.host_bytes / 1e9,
+            int8_host_gb=quant.memory.host_bytes / 1e9,
+            int8_decode_policy=str(quant.decode_policy),
+        )
+    # Capacity: the largest batch each variant fits in host DDR.
+    strict = EVAL_CONFIG
+    from dataclasses import replace
+    strict = replace(strict, enforce_host_capacity=True)
+    bf16_max = LiaEstimator(bf16, system, strict).max_feasible_batch(
+        input_len, output_len)
+    int8_max = LiaEstimator(int8, system, strict).max_feasible_batch(
+        input_len, output_len)
+    result.add_row(batch_size="max-feasible",
+                   bf16_latency_s=bf16_max, int8_latency_s=int8_max,
+                   speedup=int8_max / max(bf16_max, 1),
+                   bf16_host_gb=0.0, int8_host_gb=0.0,
+                   int8_decode_policy="")
+    return result

@@ -1,0 +1,94 @@
+"""Extension study: what moves LIA's offloading frontier?
+
+§8 closes with a design claim: "improving CPU-GPU bandwidth may be a
+more effective direction than increasing CPU compute power for
+CPU-GPU collaborative computing, given the current CPU/GPU capability
+regime."  This driver tests it directly by sweeping, independently,
+
+* the host-link bandwidth (PCIe 3.0 → 5.0 → C2C-class), and
+* the CPU's AMX throughput (0.5x → 4x of SPR),
+
+and recording (a) the decode full-CPU threshold — where cooperation
+stops favouring the CPU — and (b) end-to-end latency/throughput at
+representative online and offline points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.estimator import LiaEstimator
+from repro.core.optimizer import decode_policy_threshold
+from repro.experiments.frameworks import EVAL_CONFIG
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.interconnect import Link
+from repro.hardware.roofline import ComputeEngine, EfficiencyCurve
+from repro.hardware.system import SystemConfig, get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def scale_link(system: SystemConfig, factor: float) -> SystemConfig:
+    """A copy of the system with its host link scaled by ``factor``."""
+    link = Link(f"{system.host_link.name}*{factor:g}",
+                bandwidth=system.host_link.bandwidth * factor,
+                setup_latency=system.host_link.setup_latency)
+    return replace(system, name=f"{system.name}-bw{factor:g}",
+                   host_link=link)
+
+
+def scale_cpu_compute(system: SystemConfig,
+                      factor: float) -> SystemConfig:
+    """A copy with every CPU engine's peak FLOPS scaled by ``factor``
+    (memory bandwidth untouched — this isolates *compute* scaling)."""
+    engines = {}
+    for name, engine in system.cpu.engines.items():
+        engines[name] = ComputeEngine(
+            name=f"{engine.name}*{factor:g}",
+            peak_flops=engine.peak_flops * factor,
+            mem_bandwidth=engine.mem_bandwidth,
+            efficiency=EfficiencyCurve(
+                max_efficiency=engine.efficiency.max_efficiency,
+                half_flops=engine.efficiency.half_flops),
+            dispatch_overhead=engine.dispatch_overhead,
+        )
+    cpu = CpuSpec(name=f"{system.cpu.name}*{factor:g}",
+                  cores=system.cpu.cores,
+                  clock_hz=system.cpu.clock_hz,
+                  memory=system.cpu.memory,
+                  engines=engines,
+                  sockets=system.cpu.sockets,
+                  tdp_watts=system.cpu.tdp_watts,
+                  price_usd=system.cpu.price_usd)
+    return replace(system, name=f"{system.name}-cpu{factor:g}", cpu=cpu)
+
+
+def run(model: str = "opt-175b", system_name: str = "spr-h100",
+        factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0)
+        ) -> ExperimentResult:
+    """Sensitivity rows for both scaling dimensions."""
+    spec = get_model(model)
+    base = get_system(system_name)
+    online = InferenceRequest(1, 256, 32)
+    offline = InferenceRequest(900, 256, 32)
+    result = ExperimentResult(
+        experiment_id="ext-sensitivity",
+        title=f"bandwidth vs CPU-compute sensitivity, {model} on "
+              f"{system_name}")
+    for dimension, scaler in (("link-bandwidth", scale_link),
+                              ("cpu-compute", scale_cpu_compute)):
+        for factor in factors:
+            system = scaler(base, factor)
+            estimator = LiaEstimator(spec, system, EVAL_CONFIG)
+            threshold = decode_policy_threshold(spec, system,
+                                                EVAL_CONFIG)
+            online_est = estimator.estimate(online)
+            offline_est = estimator.estimate(offline)
+            result.add_row(
+                dimension=dimension, factor=factor,
+                decode_threshold_b=threshold,
+                online_latency_s=online_est.latency,
+                offline_tokens_per_s=offline_est.throughput)
+    return result

@@ -1,0 +1,29 @@
+"""Figure 1: operations/byte heatmap of OPT-175B sublayers.
+
+The paper shows the prefill and decoding arithmetic intensity of each
+GEMM/GEMV sublayer for L=512, B=180, spanning roughly 1 (attention
+scoring in decode) to tens of thousands (FC sublayers in prefill).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.models.sublayers import Stage, Sublayer, sublayer_cost
+from repro.models.zoo import get_model
+
+
+def run(model: str = "opt-175b", batch_size: int = 180,
+        input_len: int = 512) -> ExperimentResult:
+    """Compute the Fig. 1 heatmap rows."""
+    spec = get_model(model)
+    result = ExperimentResult(
+        experiment_id="fig01",
+        title=f"ops/byte heatmap, {model}, B={batch_size}, L={input_len}")
+    for stage in Stage:
+        for sub in Sublayer:
+            cost = sublayer_cost(spec, sub, stage, batch_size, input_len)
+            result.add_row(stage=stage.value, sublayer=sub.name,
+                           ops_per_byte=cost.ops_per_byte,
+                           flops=cost.flops,
+                           bytes=cost.d_x + cost.d_y)
+    return result

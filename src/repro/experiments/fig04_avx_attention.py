@@ -1,0 +1,59 @@
+"""Figure 4: does AVX512 compute-offloading of attention pay off?
+
+At B=32, FlexGen can either transfer the KV cache to the GPU each
+decode step or compute attention scoring on the (AVX512) CPU.  The
+paper shows CPU compute time exceeds the saved KV transfer time for
+short L (a net loss at L=64/128) and yields at most ~10 % total
+latency reduction at L=1024 because parameter transfers still
+dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.latency import layer_latency
+from repro.core.policy import FULL_GPU, PARTIAL_CPU
+from repro.experiments.frameworks import EVAL_CONFIG
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.sublayers import Stage, Sublayer
+from repro.models.zoo import get_model
+
+from dataclasses import replace
+
+
+def run(model: str = "opt-175b", system_name: str = "spr-a100",
+        batch_size: int = 32,
+        input_lens: Sequence[int] = (64, 128, 256, 512, 1024)
+        ) -> ExperimentResult:
+    """Decode-stage comparison rows for the Fig. 4 sweep."""
+    spec = get_model(model)
+    system = get_system(system_name)
+    config = replace(EVAL_CONFIG, cpu_engine="avx512")
+    result = ExperimentResult(
+        experiment_id="fig04",
+        title=f"AVX512 attention offload vs KV transfer, {model}, "
+              f"B={batch_size}")
+    for input_len in input_lens:
+        offloaded = layer_latency(spec, Stage.DECODE, PARTIAL_CPU,
+                                  batch_size, input_len, system, config)
+        transferred = layer_latency(spec, Stage.DECODE, FULL_GPU,
+                                    batch_size, input_len, system, config)
+        cpu_attention = sum(
+            s.t_comp for s in offloaded.sublayers
+            if s.sublayer in (Sublayer.ATTENTION_SCORE,
+                              Sublayer.ATTENTION_CONTEXT))
+        kv_transfer = sum(
+            s.t_load_y for s in transferred.sublayers
+            if s.sublayer in (Sublayer.ATTENTION_SCORE,
+                              Sublayer.ATTENTION_CONTEXT))
+        reduction = 1.0 - offloaded.total / transferred.total
+        result.add_row(
+            input_len=input_len,
+            cpu_attention_s=cpu_attention * spec.n_layers,
+            kv_transfer_s=kv_transfer * spec.n_layers,
+            offloaded_total_s=offloaded.total * spec.n_layers,
+            transfer_total_s=transferred.total * spec.n_layers,
+            latency_reduction=reduction)
+    return result

@@ -1,0 +1,86 @@
+"""Figure 5: GEMM and batched-GEMV throughput microbenchmarks.
+
+GEMM simulates the prefill FC1 sublayer: ``(B*L, d_m) x (d_m, 4 d_m)``
+across B*L.  GEMV simulates the decoding Q x K^T sublayer:
+``(B*n_h, 1, d_h) x (B*n_h, d_h, L)`` across B (and L).  Engines:
+AVX512, SPR-AMX, GNR-AMX (plus the 2-socket GNR of §4.1), and
+P100/V100/A100/H100.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.cpu import get_cpu
+from repro.hardware.gpu import get_gpu
+from repro.hardware.roofline import ComputeEngine, MatmulKind
+from repro.models.zoo import get_model
+
+#: Default engine set of Fig. 5.
+DEFAULT_ENGINES = ("avx512", "spr-amx", "gnr-amx", "p100", "v100",
+                   "a100", "h100")
+
+#: The paper's sweep points.
+DEFAULT_BL = (64, 256, 1024, 4096, 16384, 36864)
+DEFAULT_GEMV_BATCH = (1, 8, 32, 64, 180, 512)
+
+
+def resolve_engine(name: str) -> ComputeEngine:
+    """Map a Fig. 5 series name to a compute engine."""
+    mapping = {
+        "avx512": lambda: get_cpu("spr").engine("avx512"),
+        "spr-amx": lambda: get_cpu("spr").engine("amx"),
+        "gnr-amx": lambda: get_cpu("gnr").engine("amx"),
+        "gnr2s-amx": lambda: get_cpu("gnr-2s").engine("amx"),
+    }
+    if name in mapping:
+        return mapping[name]()
+    return get_gpu(name).engine
+
+
+def gemm_shape(spec, bl: int) -> Dict[str, float]:
+    """FLOPs and operand bytes of the prefill FC1 GEMM at B*L = bl."""
+    d = spec.d_model
+    e = spec.bytes_per_param
+    return {
+        "flops": 2.0 * bl * d * (4 * d),
+        "bytes": e * bl * d + e * d * (4 * d),
+    }
+
+
+def gemv_shape(spec, batch_size: int, seq_len: int) -> Dict[str, float]:
+    """FLOPs and bytes of the decode Q x K^T batched GEMV."""
+    e = spec.bytes_per_param
+    flops = 2.0 * batch_size * seq_len * spec.d_model
+    bytes_moved = (e * batch_size * spec.d_model
+                   + e * batch_size * seq_len * spec.kv_dim)
+    return {"flops": flops, "bytes": bytes_moved}
+
+
+def run(model: str = "opt-175b",
+        engines: Sequence[str] = DEFAULT_ENGINES,
+        bl_values: Sequence[int] = DEFAULT_BL,
+        gemv_batches: Sequence[int] = DEFAULT_GEMV_BATCH,
+        gemv_seq_len: int = 1024) -> ExperimentResult:
+    """Throughput rows (TFLOPS) for both microbenchmarks."""
+    spec = get_model(model)
+    result = ExperimentResult(
+        experiment_id="fig05",
+        title=f"GEMM/GEMV throughput microbenchmarks ({model} shapes)")
+    for name in engines:
+        engine = resolve_engine(name)
+        for bl in bl_values:
+            shape = gemm_shape(spec, bl)
+            tput = engine.matmul_throughput(shape["flops"],
+                                            shape["bytes"])
+            result.add_row(kind="gemm", engine=name, size=bl,
+                           tflops=tput / 1e12)
+        for batch_size in gemv_batches:
+            shape = gemv_shape(spec, batch_size, gemv_seq_len)
+            tput = engine.matmul_throughput(shape["flops"],
+                                            shape["bytes"],
+                                            MatmulKind.BATCHED_GEMV)
+            result.add_row(kind="gemv", engine=name, size=batch_size,
+                           tflops=tput / 1e12)
+    return result

@@ -1,0 +1,62 @@
+"""Figure 8: CXL transfer bandwidth and CPU-compute degradation.
+
+(a) DDR-GPU vs CXL-GPU transfer bandwidth across data sizes, with one
+and two interleaved expanders — two expanders approach DDR parity for
+transfers >= ~300 MB over PCIe 4.0.
+
+(b) AMX throughput for sublayers 1 and 2, prefill and decode, with
+the second operand in CXL memory, normalized to DDR: sublayer 1
+degrades 11-70 %, sublayer 2 (ops/byte = 1) degrades 10-82 %.
+The paper fixes B=64 while sweeping L and L=256 while sweeping B.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cxl.bandwidth import (
+    cpu_throughput_degradation,
+    transfer_bandwidth_series,
+)
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.sublayers import Stage, Sublayer
+from repro.models.zoo import get_model
+from repro.units import mb
+
+DEFAULT_SIZES_MB = (1, 4, 16, 64, 128, 300, 600, 1200)
+DEFAULT_BATCHES = (1, 8, 32, 64, 180, 512)
+
+
+def run(model: str = "opt-175b", system_name: str = "spr-a100",
+        sizes_mb: Sequence[float] = DEFAULT_SIZES_MB,
+        batch_sizes: Sequence[int] = DEFAULT_BATCHES,
+        seq_len: int = 256) -> ExperimentResult:
+    """Fig. 8(a) bandwidth rows and Fig. 8(b) degradation rows."""
+    spec = get_model(model)
+    system = get_system(system_name).with_cxl(n_expanders=2)
+    result = ExperimentResult(
+        experiment_id="fig08",
+        title=f"CXL transfer bandwidth and compute degradation "
+              f"({system_name})")
+
+    sizes = [mb(s) for s in sizes_mb]
+    series = transfer_bandwidth_series(system.host_link, sizes,
+                                       system.cpu.memory)
+    for source, rates in series.items():
+        for size_mb, rate in zip(sizes_mb, rates):
+            result.add_row(panel="a", source=source, size_mb=size_mb,
+                           gb_per_s=rate / 1e9)
+
+    for sub, label in ((Sublayer.QKV_MAPPING, "S1"),
+                       (Sublayer.ATTENTION_SCORE, "S2")):
+        for stage in Stage:
+            ratios = cpu_throughput_degradation(
+                system, spec, sub, stage, batch_sizes, seq_len)
+            for batch_size, ratio in zip(batch_sizes, ratios):
+                result.add_row(panel="b",
+                               series=f"{stage.value}-{label}",
+                               batch_size=batch_size,
+                               normalized_throughput=ratio,
+                               degradation=1.0 - ratio)
+    return result

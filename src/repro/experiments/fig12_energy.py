@@ -1,0 +1,57 @@
+"""Figure 12: per-token energy of IPEX and FlexGen normalized to LIA
+on SPR-A100.
+
+Paper results tracked: LIA is 1.1-5.8x more energy-efficient than
+IPEX and 1.6-10.3x more than FlexGen; the FlexGen gap shrinks toward
+~1.6x at B=900 while the IPEX gap grows with B and L_in.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.energy.power import energy_per_token
+from repro.experiments.frameworks import estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest, paper_input_lengths
+from repro.models.zoo import get_model
+
+DEFAULT_FRAMEWORKS = ("lia", "ipex", "flexgen")
+
+
+def run(models: Sequence[str] = ("opt-30b", "opt-175b"),
+        system_name: str = "spr-a100",
+        batch_sizes: Sequence[int] = (1, 64, 900),
+        output_lens: Sequence[int] = (32, 256)) -> ExperimentResult:
+    """Energy rows: joules/token plus the normalized-to-LIA ratio."""
+    system = get_system(system_name)
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title=f"energy per token on {system_name}, normalized to LIA")
+    for model in models:
+        spec = get_model(model)
+        for batch_size in batch_sizes:
+            for output_len in output_lens:
+                for input_len in paper_input_lengths(spec, output_len):
+                    request = InferenceRequest(batch_size, input_len,
+                                               output_len)
+                    energies = {}
+                    for framework in DEFAULT_FRAMEWORKS:
+                        estimate = estimate_or_oom(framework, spec,
+                                                   system, request)
+                        energies[framework] = (
+                            OOM if estimate == OOM
+                            else energy_per_token(system, estimate))
+                    lia = energies["lia"]
+                    for framework, joules in energies.items():
+                        ratio = OOM
+                        if joules != OOM and lia != OOM and lia > 0:
+                            ratio = joules / lia
+                        result.add_row(model=model, framework=framework,
+                                       batch_size=batch_size,
+                                       input_len=input_len,
+                                       output_len=output_len,
+                                       joules_per_token=joules,
+                                       normalized_to_lia=ratio)
+    return result

@@ -1,0 +1,81 @@
+"""Figure 13 and Table 6: scaling with Granite Rapids CPUs.
+
+Table 6: LIA's advantage over IPEX and FlexGen on GNR-A100 and
+GNR-H100 (the IPEX gap shrinks vs SPR, the FlexGen gap widens).
+Figure 13: LIA on GNR-A100 vs LIA on SPR-H100 — 1.4-2.0x lower online
+latency, up to 1.9x higher B=64 throughput, but only ~70 % of
+SPR-H100's B=900 throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.frameworks import estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest, paper_input_lengths
+from repro.models.zoo import get_model
+
+TABLE6_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("gnr-a100", "opt-30b"),
+    ("gnr-a100", "opt-175b"),
+    ("gnr-h100", "opt-66b"),
+    ("gnr-h100", "opt-175b"),
+)
+
+
+def run_table6(pairs: Sequence[Tuple[str, str]] = TABLE6_PAIRS,
+               output_len: int = 32) -> ExperimentResult:
+    """LIA-vs-baseline ratios on GNR systems (Table 6 rows)."""
+    result = ExperimentResult(
+        experiment_id="tab6",
+        title="LIA improvement over IPEX/FlexGen on GNR systems")
+    for system_name, model in pairs:
+        spec = get_model(model)
+        system = get_system(system_name)
+        for scenario, batch_size in (("online", 1), ("offline", 64),
+                                     ("offline", 900)):
+            for input_len in paper_input_lengths(spec, output_len):
+                request = InferenceRequest(batch_size, input_len,
+                                           output_len)
+                estimates = {
+                    fw: estimate_or_oom(fw, spec, system, request)
+                    for fw in ("lia", "ipex", "flexgen")}
+                if any(e == OOM for e in estimates.values()):
+                    continue
+                lia = estimates["lia"]
+                result.add_row(
+                    system=system_name, model=model, scenario=scenario,
+                    batch_size=batch_size, input_len=input_len,
+                    vs_ipex=estimates["ipex"].latency / lia.latency,
+                    vs_flexgen=(estimates["flexgen"].latency
+                                / lia.latency))
+    return result
+
+
+def run_fig13(model: str = "opt-175b",
+              output_len: int = 32) -> ExperimentResult:
+    """LIA GNR-A100 vs LIA SPR-H100 (Fig. 13 rows)."""
+    spec = get_model(model)
+    gnr = get_system("gnr-a100")
+    spr = get_system("spr-h100")
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title=f"LIA on GNR-A100 vs SPR-H100, {model}")
+    for batch_size in (1, 64, 900):
+        for input_len in paper_input_lengths(spec, output_len):
+            request = InferenceRequest(batch_size, input_len, output_len)
+            on_gnr = estimate_or_oom("lia", spec, gnr, request)
+            on_spr = estimate_or_oom("lia", spec, spr, request)
+            if on_gnr == OOM or on_spr == OOM:
+                continue
+            result.add_row(
+                batch_size=batch_size, input_len=input_len,
+                gnr_a100_latency_s=on_gnr.latency,
+                spr_h100_latency_s=on_spr.latency,
+                gnr_a100_tokens_per_s=on_gnr.throughput,
+                spr_h100_tokens_per_s=on_spr.throughput,
+                latency_ratio=on_spr.latency / on_gnr.latency,
+                throughput_ratio=on_gnr.throughput / on_spr.throughput)
+    return result

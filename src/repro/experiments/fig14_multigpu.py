@@ -1,0 +1,50 @@
+"""Figure 14: per-GPU throughput and $/Mtoken, LIA (GNR-A100) vs 8-way
+tensor parallelism on a DGX-A100.
+
+Paper results tracked: at B=1 LIA achieves 1.4-1.8x higher per-GPU
+throughput and 1.5-2.0x lower cost; at B=64 the DGX is competitive or
+modestly ahead; at B=900 the DGX goes OOM while LIA keeps scaling;
+and the GNR-A100 system costs ~10x less than the DGX.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.energy.cost import cost_per_million_tokens
+from repro.experiments.frameworks import estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def run(model: str = "opt-175b",
+        batch_sizes: Sequence[int] = (1, 64, 900),
+        input_len: int = 256, output_len: int = 32) -> ExperimentResult:
+    """Per-GPU throughput and cost rows for both systems."""
+    spec = get_model(model)
+    lia_system = get_system("gnr-a100")
+    dgx = get_system("dgx-a100")
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title=f"per-GPU throughput & $/Mtoken, {model}: LIA GNR-A100 "
+              "vs DGX-A100")
+    result.notes = (f"system price: gnr-a100 ${lia_system.price_usd:,.0f}"
+                    f" vs dgx-a100 ${dgx.price_usd:,.0f}")
+    for batch_size in batch_sizes:
+        request = InferenceRequest(batch_size, input_len, output_len)
+        for name, system, framework, n_gpus in (
+                ("lia/gnr-a100", lia_system, "lia", 1),
+                ("tp8/dgx-a100", dgx, "tensor-parallel", 8)):
+            estimate = estimate_or_oom(framework, spec, system, request)
+            if estimate == OOM:
+                result.add_row(config=name, batch_size=batch_size,
+                               per_gpu_tokens_per_s=OOM,
+                               usd_per_mtoken=OOM)
+                continue
+            result.add_row(
+                config=name, batch_size=batch_size,
+                per_gpu_tokens_per_s=estimate.throughput / n_gpus,
+                usd_per_mtoken=cost_per_million_tokens(system, estimate))
+    return result

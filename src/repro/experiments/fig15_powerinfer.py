@@ -1,0 +1,39 @@
+"""Figure 15: LIA vs PowerInfer, Llama2-70B on GNR-A100.
+
+Paper results tracked: LIA is 1.4-9.0x faster in latency and 1.5-15x
+higher-throughput; PowerInfer hits CUDA OOM at B=900.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.frameworks import estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def run(model: str = "llama2-70b", system_name: str = "gnr-a100",
+        batch_sizes: Sequence[int] = (1, 64, 900),
+        input_len: int = 32, output_len: int = 32) -> ExperimentResult:
+    """Latency/throughput rows for LIA and PowerInfer."""
+    spec = get_model(model)
+    system = get_system(system_name)
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title=f"LIA vs PowerInfer, {model} on {system_name}")
+    for batch_size in batch_sizes:
+        request = InferenceRequest(batch_size, input_len, output_len)
+        for framework in ("lia", "powerinfer"):
+            estimate = estimate_or_oom(framework, spec, system, request)
+            if estimate == OOM:
+                result.add_row(framework=framework,
+                               batch_size=batch_size,
+                               latency_s=OOM, tokens_per_s=OOM)
+                continue
+            result.add_row(framework=framework, batch_size=batch_size,
+                           latency_s=estimate.latency,
+                           tokens_per_s=estimate.throughput)
+    return result

@@ -1,0 +1,55 @@
+"""§7.7: model generalizability beyond the OPT family.
+
+Llama2-70B, Chinchilla-70B, and Bloom-176B across SPR/GNR x A100/H100
+systems.  Paper results tracked: LIA consistently delivers multi-x
+lower latency than FlexGen (6.1-11x across the three models) and
+1.1-1.7x lower latency than IPEX, with 1.1-7.6x throughput gains.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.frameworks import estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+DEFAULT_MODELS = ("llama2-70b", "chinchilla-70b", "bloom-176b")
+DEFAULT_SYSTEMS = ("spr-a100", "spr-h100", "gnr-a100", "gnr-h100")
+
+
+def run(models: Sequence[str] = DEFAULT_MODELS,
+        system_names: Sequence[str] = DEFAULT_SYSTEMS,
+        input_len: int = 256, output_len: int = 32) -> ExperimentResult:
+    """Latency (B=1) and throughput (B=64) ratios vs both baselines."""
+    result = ExperimentResult(
+        experiment_id="sec77",
+        title="model generalizability: LIA vs IPEX/FlexGen")
+    for model in models:
+        spec = get_model(model)
+        for system_name in system_names:
+            system = get_system(system_name)
+            for scenario, batch_size in (("online", 1), ("offline", 64)):
+                request = InferenceRequest(batch_size, input_len,
+                                           output_len)
+                estimates = {
+                    fw: estimate_or_oom(fw, spec, system, request)
+                    for fw in ("lia", "ipex", "flexgen")}
+                if any(e == OOM for e in estimates.values()):
+                    continue
+                lia = estimates["lia"]
+                if scenario == "online":
+                    vs_ipex = estimates["ipex"].latency / lia.latency
+                    vs_flexgen = (estimates["flexgen"].latency
+                                  / lia.latency)
+                else:
+                    vs_ipex = (lia.throughput
+                               / estimates["ipex"].throughput)
+                    vs_flexgen = (lia.throughput
+                                  / estimates["flexgen"].throughput)
+                result.add_row(model=model, system=system_name,
+                               scenario=scenario, batch_size=batch_size,
+                               vs_ipex=vs_ipex, vs_flexgen=vs_flexgen)
+    return result

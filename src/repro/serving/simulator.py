@@ -1,0 +1,119 @@
+"""Online serving simulation: a FIFO queue in front of one system.
+
+Requests arrive at given timestamps (e.g. a Poisson process seeded for
+reproducibility), execute one at a time at the latency the LIA
+estimator predicts, and the report collects queueing delay, end-to-end
+latency percentiles, and server utilization — the numbers a capacity
+planner actually needs from the paper's latency results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.estimator import LiaEstimator
+from repro.errors import ConfigurationError
+from repro.models.workload import InferenceRequest
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Timeline of one request through the server."""
+
+    request: InferenceRequest
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class ServingReport:
+    """Aggregate statistics of one simulated serving run."""
+
+    served: List[ServedRequest]
+
+    def __post_init__(self) -> None:
+        if not self.served:
+            raise ConfigurationError("report needs at least one request")
+
+    @property
+    def makespan(self) -> float:
+        return max(r.finish for r in self.served)
+
+    @property
+    def utilization(self) -> float:
+        busy = sum(r.service_time for r in self.served)
+        return busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        tokens = sum(r.request.total_generated_tokens for r in self.served)
+        return tokens / self.makespan
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency at the given percentile, e.g. 0.5 or 0.95."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}")
+        ordered = sorted(r.latency for r in self.served)
+        index = min(len(ordered) - 1,
+                    max(0, int(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return sum(r.queue_delay for r in self.served) / len(self.served)
+
+
+class ServingSimulator:
+    """Single-server FIFO simulation driven by an estimator."""
+
+    def __init__(self, estimator: LiaEstimator) -> None:
+        self.estimator = estimator
+
+    def run(self, requests: Sequence[InferenceRequest],
+            arrivals: Sequence[float]) -> ServingReport:
+        """Serve ``requests`` arriving at ``arrivals`` (seconds)."""
+        if len(requests) != len(arrivals):
+            raise ConfigurationError(
+                "requests and arrivals must have equal length")
+        if list(arrivals) != sorted(arrivals):
+            raise ConfigurationError("arrivals must be non-decreasing")
+        served: List[ServedRequest] = []
+        free_at = 0.0
+        for request, arrival in zip(requests, arrivals):
+            start = max(arrival, free_at)
+            service = self.estimator.estimate(request).latency
+            finish = start + service
+            served.append(ServedRequest(request=request, arrival=arrival,
+                                        start=start, finish=finish))
+            free_at = finish
+        return ServingReport(served)
+
+    def run_poisson(self, requests: Sequence[InferenceRequest],
+                    rate_per_s: float, seed: int = 0) -> ServingReport:
+        """Serve with Poisson arrivals at ``rate_per_s`` (seeded)."""
+        if rate_per_s <= 0.0:
+            raise ConfigurationError(
+                f"rate_per_s must be positive, got {rate_per_s}")
+        rng = random.Random(seed)
+        arrivals = []
+        clock = 0.0
+        for __ in requests:
+            clock += rng.expovariate(rate_per_s)
+            arrivals.append(clock)
+        return self.run(requests, arrivals)

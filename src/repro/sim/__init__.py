@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+Executes dependency graphs of compute and transfer tasks on serial
+resources (CPU, GPU, PCIe link), producing a timeline.  The LIA
+runtime uses it to simulate overlapped execution (Optimization-2,
+Fig. 7) and to validate the closed-form latency model of Eq. (2).
+"""
+
+from repro.sim.task import Task, TaskGraph
+from repro.sim.engine import Simulator
+from repro.sim.trace import TaskRecord, Timeline
+
+__all__ = ["Task", "TaskGraph", "Simulator", "TaskRecord", "Timeline"]

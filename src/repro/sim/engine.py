@@ -1,0 +1,81 @@
+"""List-scheduling discrete-event simulator.
+
+Each named resource executes one task at a time; a task starts as soon
+as its dependencies have finished *and* its resource is free.  Ties
+are broken by dependency-readiness time, then by insertion order,
+which matches how the real runtime issues work (queues per device).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.sim.task import TaskGraph
+from repro.sim.trace import TaskRecord, Timeline
+
+
+class Simulator:
+    """Simulate a :class:`TaskGraph` and return its :class:`Timeline`."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self._graph = graph
+
+    def run(self) -> Timeline:
+        """Execute the graph; raises on cycles via topological sort."""
+        order = self._graph.topological_order()
+        insertion_rank = {t.task_id: i for i, t in enumerate(order)}
+
+        finish_time: Dict[str, float] = {}
+        resource_free: Dict[str, float] = {r: 0.0
+                                           for r in self._graph.resources()}
+        pending_deps: Dict[str, int] = {t.task_id: len(t.deps)
+                                        for t in order}
+        dependents: Dict[str, List[str]] = {t.task_id: [] for t in order}
+        for task in order:
+            for dep in task.deps:
+                dependents[dep].append(task.task_id)
+
+        # Ready heap: (ready_time, insertion_rank, task_id).
+        counter = itertools.count()
+        ready: List = []
+        for task in order:
+            if pending_deps[task.task_id] == 0:
+                heapq.heappush(ready, (0.0, insertion_rank[task.task_id],
+                                       next(counter), task.task_id))
+
+        records: List[TaskRecord] = []
+        executed = 0
+        while ready:
+            ready_time, __, __, task_id = heapq.heappop(ready)
+            task = self._graph.get(task_id)
+            start = max(ready_time, resource_free[task.resource])
+            finish = start + task.duration
+            finish_time[task_id] = finish
+            resource_free[task.resource] = finish
+            records.append(TaskRecord(task_id=task_id,
+                                      resource=task.resource,
+                                      label=task.label, start=start,
+                                      finish=finish))
+            executed += 1
+            for child in dependents[task_id]:
+                pending_deps[child] -= 1
+                if pending_deps[child] == 0:
+                    child_ready = max(
+                        (finish_time[d] for d in self._graph.get(child).deps),
+                        default=0.0)
+                    heapq.heappush(ready, (child_ready,
+                                           insertion_rank[child],
+                                           next(counter), child))
+        if executed != len(self._graph):
+            raise SimulationError(
+                f"executed {executed} of {len(self._graph)} tasks; "
+                "graph has unreachable tasks")
+        return Timeline(records)
+
+
+def simulate(graph: TaskGraph) -> Timeline:
+    """Convenience wrapper: build a simulator and run it."""
+    return Simulator(graph).run()

@@ -1,0 +1,54 @@
+"""Naive data-offloading baseline and GPU pooling (§3.1, §8)."""
+
+import pytest
+
+from repro.baselines.data_offload import DataOffloadEstimator, _pool_gpus
+from repro.baselines.flexgen import FlexGenEstimator
+from repro.core.estimator import LiaEstimator
+from repro.core.policy import FULL_GPU
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+
+
+def test_never_compute_offloads(opt_175b, spr_a100, eval_config):
+    estimate = DataOffloadEstimator(opt_175b, spr_a100,
+                                    eval_config).estimate(
+        InferenceRequest(32, 1024, 32))
+    assert estimate.framework == "data-offload"
+    assert estimate.decode_policy == FULL_GPU
+
+
+def test_slower_than_flexgen_with_offload(opt_175b, spr_a100,
+                                          eval_config):
+    # Compute-offloading exists because it helps at long L (§3.2).
+    request = InferenceRequest(32, 1024, 32)
+    plain = DataOffloadEstimator(opt_175b, spr_a100,
+                                 eval_config).estimate(request)
+    flexgen = FlexGenEstimator(opt_175b, spr_a100,
+                               eval_config).estimate(request)
+    assert flexgen.latency <= plain.latency
+
+
+def test_pooling_single_gpu_is_identity(spr_a100):
+    assert _pool_gpus(spr_a100) is spr_a100
+
+
+def test_pooling_aggregates_v100s():
+    pooled = _pool_gpus(get_system("3xv100"))
+    assert pooled.n_gpus == 1
+    v100 = get_system("3xv100").gpu
+    assert pooled.gpu.memory_capacity == 3 * v100.memory_capacity
+    assert pooled.gpu.engine.peak_flops == 3 * v100.engine.peak_flops
+    assert pooled.host_link.bandwidth == pytest.approx(
+        3 * get_system("3xv100").host_link.bandwidth)
+
+
+def test_section8_cheap_gpu_alternative_loses(opt_175b, gnr_a100,
+                                              eval_config):
+    # §8: LIA on GNR-A100 beats 3xV100 data offloading by 6.3-11x in
+    # latency (we assert a generous multi-x band).
+    request = InferenceRequest(1, 256, 32)
+    lia = LiaEstimator(opt_175b, gnr_a100, eval_config).estimate(request)
+    cheap = DataOffloadEstimator(opt_175b, get_system("3xv100"),
+                                 eval_config).estimate(request)
+    assert cheap.latency / lia.latency >= 3.0

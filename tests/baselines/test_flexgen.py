@@ -1,0 +1,97 @@
+"""FlexGen baseline model."""
+
+import pytest
+
+from repro.baselines.flexgen import FlexGenEstimator, FlexGenSettings
+from repro.core.estimator import LiaEstimator
+from repro.core.policy import FULL_GPU, PARTIAL_CPU
+from repro.models.workload import InferenceRequest
+
+
+def test_kv_fits_gpu_at_b1_only(opt_175b, spr_a100, eval_config):
+    # Fig. 3: at B=1 KV/activations live on the GPU; at B=32 they
+    # spill to host memory.
+    estimator = FlexGenEstimator(opt_175b, spr_a100, eval_config)
+    assert estimator.kv_fits_gpu(InferenceRequest(1, 512, 32))
+    assert not estimator.kv_fits_gpu(InferenceRequest(32, 1024, 32))
+
+
+def test_decode_policy_follows_kv_placement(opt_175b, spr_a100,
+                                            eval_config):
+    estimator = FlexGenEstimator(opt_175b, spr_a100, eval_config)
+    assert estimator.decode_policy(InferenceRequest(1, 512, 32)) == \
+        FULL_GPU
+    assert estimator.decode_policy(InferenceRequest(64, 1024, 32)) == \
+        PARTIAL_CPU
+
+
+def test_compute_offload_disable(opt_175b, spr_a100, eval_config):
+    estimator = FlexGenEstimator(opt_175b, spr_a100, eval_config,
+                                 FlexGenSettings(compute_offload=False))
+    assert estimator.decode_policy(InferenceRequest(64, 1024, 32)) == \
+        FULL_GPU
+
+
+def test_transfer_dominates_at_b1(opt_175b, spr_a100, eval_config):
+    # Fig. 3 / Insight-1: >90 % of FlexGen's B=1 time is transfers.
+    estimate = FlexGenEstimator(
+        opt_175b, spr_a100,
+        eval_config.without_overlap()).estimate(
+        InferenceRequest(1, 256, 32))
+    share = estimate.total.transfer / estimate.latency
+    assert share > 0.9
+
+
+def test_lia_beats_flexgen_online(opt_175b, spr_a100, eval_config):
+    # Fig. 10: 8.5-12x on SPR-A100 for OPT-175B.
+    request = InferenceRequest(1, 256, 32)
+    lia = LiaEstimator(opt_175b, spr_a100, eval_config).estimate(request)
+    flexgen = FlexGenEstimator(opt_175b, spr_a100,
+                               eval_config).estimate(request)
+    assert 4.0 <= flexgen.latency / lia.latency <= 16.0
+
+
+def test_lia_beats_flexgen_offline_b900(opt_30b, spr_a100, eval_config):
+    # Fig. 11 / Table 4: ~1.3-2x at B=900 (same policy, better AMX
+    # and whole-batch decode).
+    request = InferenceRequest(900, 256, 32)
+    lia = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    flexgen = FlexGenEstimator(opt_30b, spr_a100,
+                               eval_config).estimate(request)
+    ratio = lia.throughput / flexgen.throughput
+    assert 1.05 <= ratio <= 2.5
+
+
+def test_decode_minibatch_penalty_applied(opt_30b, spr_a100,
+                                          eval_config):
+    request = InferenceRequest(900, 256, 32)
+    default = FlexGenEstimator(opt_30b, spr_a100,
+                               eval_config).estimate(request)
+    no_penalty = FlexGenEstimator(
+        opt_30b, spr_a100, eval_config,
+        FlexGenSettings(decode_compute_penalty=1.0)).estimate(request)
+    assert default.latency > no_penalty.latency
+
+
+def test_flexgen_uses_avx512(opt_30b, spr_a100, eval_config):
+    estimator = FlexGenEstimator(opt_30b, spr_a100, eval_config)
+    assert estimator.config.cpu_engine == "avx512"
+
+
+def test_framework_name(opt_30b, spr_a100, eval_config):
+    estimate = FlexGenEstimator(opt_30b, spr_a100,
+                                eval_config).estimate(
+        InferenceRequest(1, 64, 8))
+    assert estimate.framework == "flexgen"
+    assert estimate.prefill_policy == FULL_GPU
+
+
+def test_settings_validation():
+    import pytest as _pytest
+
+    from repro.errors import ConfigurationError
+
+    with _pytest.raises(ConfigurationError):
+        FlexGenSettings(minibatches=0)
+    with _pytest.raises(ConfigurationError):
+        FlexGenSettings(decode_compute_penalty=0.9)

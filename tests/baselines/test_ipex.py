@@ -1,0 +1,59 @@
+"""IPEX (CPU-only) baseline."""
+
+import pytest
+
+from repro.baselines.ipex import IpexEstimator
+from repro.core.estimator import LiaEstimator
+from repro.core.policy import FULL_CPU
+from repro.models.workload import InferenceRequest
+
+
+def test_everything_on_cpu(opt_30b, spr_a100, eval_config):
+    estimate = IpexEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(1, 256, 32))
+    assert estimate.framework == "ipex"
+    assert estimate.prefill_policy == FULL_CPU
+    assert estimate.decode_policy == FULL_CPU
+    assert estimate.total.gpu_compute == 0.0
+    assert estimate.total.transfer == 0.0
+
+
+def test_no_gpu_residency(opt_30b, spr_a100, eval_config):
+    estimate = IpexEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(1, 256, 32))
+    assert estimate.residency.n_resident_layers == 0
+
+
+def test_lia_beats_ipex_online_opt30b(opt_30b, spr_a100, eval_config):
+    # Fig. 10: 1.8-2.1x for OPT-30B on SPR-A100.
+    request = InferenceRequest(1, 256, 32)
+    lia = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    ipex = IpexEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    assert 1.5 <= ipex.latency / lia.latency <= 2.6
+
+
+def test_lia_vs_ipex_gap_smaller_for_175b(opt_30b, opt_175b, spr_a100,
+                                          eval_config):
+    # Fig. 10: the gap narrows to 1.1-1.3x for OPT-175B (fewer
+    # resident layers).
+    request = InferenceRequest(1, 256, 32)
+    gap_30b = (IpexEstimator(opt_30b, spr_a100,
+                             eval_config).estimate(request).latency
+               / LiaEstimator(opt_30b, spr_a100,
+                              eval_config).estimate(request).latency)
+    gap_175b = (IpexEstimator(opt_175b, spr_a100,
+                              eval_config).estimate(request).latency
+                / LiaEstimator(opt_175b, spr_a100,
+                               eval_config).estimate(request).latency)
+    assert gap_175b < gap_30b
+    assert 1.0 <= gap_175b <= 1.6
+
+
+def test_ipex_prefill_dominates_long_inputs(opt_30b, spr_a100,
+                                            eval_config):
+    # §7.3: at L_in = 2016, L_out = 32, IPEX spends ~92 % of its time
+    # in prefill.
+    estimate = IpexEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(64, 2016, 32))
+    share = estimate.prefill.time / estimate.latency
+    assert share > 0.75

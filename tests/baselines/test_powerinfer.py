@@ -1,0 +1,96 @@
+"""PowerInfer baseline model (§7.9)."""
+
+import pytest
+
+from repro.baselines.powerinfer import (
+    PowerInferEstimator,
+    PowerInferSettings,
+)
+from repro.core.estimator import LiaEstimator
+from repro.errors import CapacityError
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def llama():
+    return get_model("llama2-70b")
+
+
+def test_runs_at_small_batch(llama, gnr_a100, eval_config):
+    estimate = PowerInferEstimator(llama, gnr_a100,
+                                   eval_config).estimate(
+        InferenceRequest(1, 32, 32))
+    assert estimate.framework == "powerinfer"
+    assert estimate.latency > 0.0
+
+
+def test_oom_at_b900(llama, gnr_a100, eval_config):
+    # Fig. 15: CUDA OOM for the throughput-oriented B=900 scenario.
+    estimator = PowerInferEstimator(llama, gnr_a100, eval_config)
+    with pytest.raises(CapacityError, match="HBM"):
+        estimator.estimate(InferenceRequest(900, 32, 32))
+
+
+def test_lia_faster_at_b1(llama, gnr_a100, eval_config):
+    # Fig. 15: LIA is at least 1.4x faster.
+    request = InferenceRequest(1, 32, 32)
+    lia = LiaEstimator(llama, gnr_a100, eval_config).estimate(request)
+    power = PowerInferEstimator(llama, gnr_a100,
+                                eval_config).estimate(request)
+    assert 1.1 <= power.latency / lia.latency <= 3.0
+
+
+def test_gap_grows_with_batch(llama, gnr_a100, eval_config):
+    # Fig. 15: the gap widens toward 9x at B=64 (poor batch scaling).
+    def gap(batch):
+        request = InferenceRequest(batch, 32, 32)
+        lia = LiaEstimator(llama, gnr_a100, eval_config).estimate(request)
+        power = PowerInferEstimator(llama, gnr_a100,
+                                    eval_config).estimate(request)
+        return power.latency / lia.latency
+
+    assert gap(64) > gap(1)
+    assert 2.0 <= gap(64) <= 12.0
+
+
+def test_microbatching_drives_scaling(llama, gnr_a100, eval_config):
+    estimator = PowerInferEstimator(llama, gnr_a100, eval_config)
+    assert estimator._microbatches(1) == 1
+    assert estimator._microbatches(8) == 1
+    assert estimator._microbatches(9) == 2
+    assert estimator._microbatches(64) == 8
+
+
+def test_hot_fraction_bounds_gpu_footprint(llama, gnr_a100, eval_config):
+    small = PowerInferEstimator(
+        llama, gnr_a100, eval_config,
+        PowerInferSettings(hot_fraction=0.01))
+    big = PowerInferEstimator(
+        llama, gnr_a100, eval_config,
+        PowerInferSettings(hot_fraction=0.5))
+    request = InferenceRequest(1, 32, 32)
+    assert small.gpu_footprint(request) < big.gpu_footprint(request)
+
+
+def test_memory_report(llama, gnr_a100, eval_config):
+    estimate = PowerInferEstimator(llama, gnr_a100,
+                                   eval_config).estimate(
+        InferenceRequest(1, 32, 32))
+    assert estimate.memory.gpu_bytes > 0
+    assert estimate.memory.ddr_bytes > 0
+
+
+def test_settings_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        PowerInferSettings(hot_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        PowerInferSettings(hot_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        PowerInferSettings(cold_activation=0.0)
+    with pytest.raises(ConfigurationError):
+        PowerInferSettings(sparse_bandwidth_efficiency=1.5)
+    with pytest.raises(ConfigurationError):
+        PowerInferSettings(max_microbatch=0)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def opt_175b():
+    return get_model("opt-175b")
+
+
+@pytest.fixture
+def opt_30b():
+    return get_model("opt-30b")
+
+
+@pytest.fixture
+def tiny_spec():
+    return get_model("opt-tiny")
+
+
+@pytest.fixture
+def spr_a100():
+    return get_system("spr-a100")
+
+
+@pytest.fixture
+def spr_h100():
+    return get_system("spr-h100")
+
+
+@pytest.fixture
+def gnr_a100():
+    return get_system("gnr-a100")
+
+
+@pytest.fixture
+def eval_config():
+    """Paper-style configuration: starred points allowed beyond the
+    512 GB testbed."""
+    return LiaConfig(enforce_host_capacity=False)
+
+
+@pytest.fixture
+def online_request():
+    return InferenceRequest(batch_size=1, input_len=256, output_len=32)
+
+
+@pytest.fixture
+def offline_request():
+    return InferenceRequest(batch_size=64, input_len=256, output_len=32)

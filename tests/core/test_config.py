@@ -1,0 +1,50 @@
+"""LiaConfig variants and validation."""
+
+import pytest
+
+from repro.core.config import KvCachePlacement, LiaConfig, WeightPlacement
+from repro.core.policy import PARTIAL_CPU
+from repro.errors import ConfigurationError
+
+
+def test_defaults_are_full_framework():
+    config = LiaConfig()
+    assert config.gpu_residency
+    assert config.overlap
+    assert config.prefill_minibatches == 2
+    assert config.cpu_engine == "amx"
+    assert config.weight_placement is WeightPlacement.DDR
+    assert config.kv_placement is KvCachePlacement.DDR
+    assert config.forced_prefill_policy is None
+    assert config.enforce_host_capacity
+
+
+def test_ablation_variants_flip_one_knob():
+    base = LiaConfig()
+    no1 = base.without_gpu_residency()
+    assert not no1.gpu_residency and no1.overlap
+    no2 = base.without_overlap()
+    assert no2.gpu_residency and not no2.overlap
+    forced = base.with_forced_policy(PARTIAL_CPU, PARTIAL_CPU)
+    assert forced.forced_prefill_policy == PARTIAL_CPU
+    assert forced.forced_decode_policy == PARTIAL_CPU
+    # The original is untouched (frozen dataclass + replace).
+    assert base.gpu_residency and base.overlap
+
+
+def test_cxl_variants():
+    tiered = LiaConfig().with_cxl_weights()
+    assert tiered.weight_placement is WeightPlacement.CXL
+    assert tiered.kv_placement is KvCachePlacement.DDR
+    oblivious = LiaConfig().with_all_cxl()
+    assert oblivious.weight_placement is WeightPlacement.CXL
+    assert oblivious.kv_placement is KvCachePlacement.CXL
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        LiaConfig(prefill_minibatches=0)
+    with pytest.raises(ConfigurationError):
+        LiaConfig(gpu_working_reserve=1.0)
+    with pytest.raises(ConfigurationError):
+        LiaConfig(gpu_working_reserve=-0.1)

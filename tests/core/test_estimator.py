@@ -1,0 +1,133 @@
+"""End-to-end LIA estimation."""
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.core.estimator import (
+    LiaEstimator,
+    check_host_capacity,
+    host_memory_usage,
+)
+from repro.core.policy import FULL_CPU, FULL_GPU
+from repro.errors import CapacityError
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def test_table4_b1_latency_near_paper(opt_30b, spr_a100, eval_config):
+    # Table 4: 5.05 s for OPT-30B, B=1, L_in=256, L_out=32.
+    estimate = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(1, 256, 32))
+    assert 3.0 <= estimate.latency <= 8.0
+
+
+def test_table5_b1_breakdown_shape(opt_30b, spr_a100, eval_config):
+    # Table 5 (overlap off): CPU 3.8, GPU 1.2, Com 0.1 seconds.
+    estimate = LiaEstimator(opt_30b, spr_a100,
+                            eval_config.without_overlap()).estimate(
+        InferenceRequest(1, 256, 32))
+    total = estimate.total
+    assert 2.0 <= total.cpu_compute <= 6.0
+    assert 0.5 <= total.gpu_compute <= 2.5
+    assert total.transfer <= 0.5
+    assert total.cpu_compute > total.gpu_compute > total.transfer
+
+
+def test_policies_match_fig9(opt_175b, spr_a100, eval_config):
+    estimator = LiaEstimator(opt_175b, spr_a100, eval_config)
+    online = estimator.estimate(InferenceRequest(1, 256, 32))
+    assert online.prefill_policy == FULL_CPU
+    assert online.decode_policy == FULL_CPU
+    offline = estimator.estimate(InferenceRequest(900, 256, 8))
+    assert offline.prefill_policy == FULL_GPU
+    assert str(offline.decode_policy) == "(0, 1, 1, 0, 0, 0)"
+
+
+def test_latency_decomposes_into_stages(opt_30b, spr_a100, eval_config):
+    estimate = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(4, 128, 16))
+    assert estimate.latency == pytest.approx(
+        estimate.prefill.time + estimate.decode.time)
+    assert estimate.throughput == pytest.approx(
+        4 * 16 / estimate.latency)
+
+
+def test_longer_output_costs_more(opt_30b, spr_a100, eval_config):
+    estimator = LiaEstimator(opt_30b, spr_a100, eval_config)
+    short = estimator.estimate(InferenceRequest(1, 256, 16))
+    long = estimator.estimate(InferenceRequest(1, 256, 64))
+    assert long.latency > short.latency
+    assert long.decode.time > short.decode.time
+
+
+def test_host_capacity_enforced_by_default(opt_175b, spr_a100):
+    estimator = LiaEstimator(opt_175b, spr_a100, LiaConfig())
+    with pytest.raises(CapacityError, match="DDR"):
+        estimator.estimate(InferenceRequest(900, 1024, 32))
+
+
+def test_host_capacity_waivable(opt_175b, spr_a100, eval_config):
+    estimator = LiaEstimator(opt_175b, spr_a100, eval_config)
+    estimate = estimator.estimate(InferenceRequest(900, 1024, 32))
+    assert estimate.latency > 0.0
+
+
+def test_memory_accounting_places_pools(opt_30b, spr_a100):
+    request = InferenceRequest(64, 256, 32)
+    usage = host_memory_usage(opt_30b, request, spr_a100, LiaConfig())
+    assert usage.weight_bytes == opt_30b.total_param_bytes
+    assert usage.kv_bytes == opt_30b.kv_cache_bytes(64, 288)
+    assert usage.cxl_bytes == 0.0
+    assert usage.ddr_bytes == pytest.approx(
+        usage.weight_bytes + usage.kv_bytes + usage.activation_bytes)
+
+
+def test_cxl_placement_moves_weights(opt_30b, spr_a100):
+    system = spr_a100.with_cxl()
+    request = InferenceRequest(64, 256, 32)
+    usage = host_memory_usage(opt_30b, request, system,
+                              LiaConfig().with_cxl_weights())
+    assert usage.cxl_bytes == usage.weight_bytes
+    assert usage.ddr_bytes == pytest.approx(
+        usage.kv_bytes + usage.activation_bytes)
+
+
+def test_cxl_capacity_checked(opt_175b, spr_a100):
+    system = spr_a100.with_cxl(n_expanders=2)  # 256 GiB < 349 GB
+    request = InferenceRequest(1, 256, 32)
+    usage = host_memory_usage(opt_175b, request, system,
+                              LiaConfig().with_cxl_weights())
+    with pytest.raises(CapacityError, match="CXL"):
+        check_host_capacity(usage, system)
+
+
+def test_max_feasible_batch_monotone_in_length(opt_30b, spr_a100):
+    estimator = LiaEstimator(opt_30b, spr_a100, LiaConfig())
+    short = estimator.max_feasible_batch(32, 32)
+    long = estimator.max_feasible_batch(1024, 32)
+    assert short > long > 0
+
+
+def test_cxl_raises_max_batch(opt_30b, spr_a100):
+    # The abstract's 900 -> 1.6K claim mechanism: CXL frees DDR.
+    plain = LiaEstimator(opt_30b, spr_a100, LiaConfig())
+    tiered = LiaEstimator(opt_30b, spr_a100.with_cxl(),
+                          LiaConfig().with_cxl_weights())
+    assert (tiered.max_feasible_batch(1024, 32)
+            > plain.max_feasible_batch(1024, 32))
+
+
+def test_h100_faster_than_a100(opt_175b, spr_a100, spr_h100,
+                               eval_config):
+    # §7.2: LIA on SPR-H100 is 1.1-1.3x faster than on SPR-A100.
+    request = InferenceRequest(1, 256, 32)
+    a100 = LiaEstimator(opt_175b, spr_a100, eval_config).estimate(request)
+    h100 = LiaEstimator(opt_175b, spr_h100, eval_config).estimate(request)
+    assert 1.0 <= a100.latency / h100.latency <= 1.6
+
+
+def test_residency_reported(opt_30b, spr_a100, eval_config):
+    estimate = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(1, 256, 32))
+    assert estimate.residency.n_resident_layers > 0
+    assert estimate.memory.gpu_bytes > 0

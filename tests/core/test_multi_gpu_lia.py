@@ -1,0 +1,87 @@
+"""Multi-GPU LIA extension (§8)."""
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.core.multi_gpu import MultiGpuLiaEstimator, expand_gpu_side
+from repro.core.optimizer import decode_policy_threshold
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import get_link
+from repro.models.workload import InferenceRequest
+
+
+@pytest.fixture
+def nvlink():
+    return get_link("nvlink3")
+
+
+def test_single_gpu_is_identity(opt_175b, gnr_a100, eval_config):
+    estimator = MultiGpuLiaEstimator(opt_175b, gnr_a100, 1, eval_config)
+    assert estimator.system is gnr_a100
+    request = InferenceRequest(64, 256, 32)
+    from repro.core.estimator import LiaEstimator
+    single = LiaEstimator(opt_175b, gnr_a100, eval_config).estimate(
+        request)
+    multi = estimator.estimate(request)
+    assert multi.latency == pytest.approx(single.latency)
+
+
+def test_expand_scales_gpu_side(gnr_a100, nvlink):
+    expanded = expand_gpu_side(gnr_a100, 4, peer_link=nvlink)
+    assert expanded.gpu.memory_capacity == 4 * gnr_a100.gpu.memory_capacity
+    assert expanded.gpu.engine.peak_flops == \
+        4 * gnr_a100.gpu.engine.peak_flops
+    assert expanded.host_link.bandwidth == pytest.approx(
+        4 * gnr_a100.host_link.bandwidth)
+    assert expanded.peer_link is nvlink
+    with pytest.raises(ConfigurationError):
+        expand_gpu_side(gnr_a100, 0)
+
+
+def test_throughput_scales_with_gpus(opt_175b, gnr_a100, eval_config,
+                                     nvlink):
+    request = InferenceRequest(900, 256, 32)
+    tputs = []
+    for n in (1, 2, 4):
+        estimator = MultiGpuLiaEstimator(opt_175b, gnr_a100, n,
+                                         eval_config, peer_link=nvlink)
+        tputs.append(estimator.estimate(request).throughput)
+    assert tputs[0] < tputs[1] < tputs[2]
+    # Sub-linear scaling: communication and the CPU-side stages don't
+    # scale with GPU count (§8's caveat).
+    assert tputs[2] < 4.5 * tputs[0]
+
+
+def test_decode_threshold_drops_with_gpu_count(opt_175b, gnr_a100,
+                                               eval_config, nvlink):
+    """§8: GPUs handle computation more frequently in multi-GPU LIA."""
+    single = decode_policy_threshold(opt_175b, gnr_a100, eval_config)
+    quad = decode_policy_threshold(
+        opt_175b,
+        expand_gpu_side(gnr_a100, 4, peer_link=nvlink),
+        eval_config)
+    assert quad < single
+
+
+def test_pcie_peer_scales_worse_than_nvlink(opt_175b, gnr_a100,
+                                            eval_config, nvlink):
+    """§8: PCIe-connected GPUs lose more to communication."""
+    request = InferenceRequest(900, 256, 32)
+    fast = MultiGpuLiaEstimator(opt_175b, gnr_a100, 4, eval_config,
+                                peer_link=nvlink).estimate(request)
+    slow = MultiGpuLiaEstimator(opt_175b, gnr_a100, 4, eval_config,
+                                peer_link=get_link("pcie4")).estimate(
+        request)
+    assert slow.throughput < fast.throughput
+
+
+def test_full_cpu_stages_pay_no_allreduce(opt_175b, gnr_a100,
+                                          eval_config, nvlink):
+    # B=1: both stages run full-CPU, so TP adds nothing.
+    request = InferenceRequest(1, 32, 32)
+    single = MultiGpuLiaEstimator(opt_175b, gnr_a100, 1,
+                                  eval_config).estimate(request)
+    multi = MultiGpuLiaEstimator(opt_175b, gnr_a100, 4, eval_config,
+                                 peer_link=nvlink).estimate(request)
+    if multi.prefill_policy.all_cpu and multi.decode_policy.all_cpu:
+        assert multi.latency <= single.latency + 1e-9

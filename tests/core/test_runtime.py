@@ -1,0 +1,92 @@
+"""The LiaRuntime facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.core.runtime import LiaRuntime
+from repro.errors import ConfigurationError
+from repro.models.sublayers import Stage
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+@pytest.fixture
+def runtime(tiny_spec, spr_a100):
+    return LiaRuntime(tiny_spec, spr_a100)
+
+
+def test_plan_contains_everything(opt_30b, spr_a100, eval_config):
+    runtime = LiaRuntime(opt_30b, spr_a100, eval_config)
+    plan = runtime.plan(InferenceRequest(1, 256, 32))
+    assert plan.estimate.latency > 0.0
+    assert plan.prefill_policy == plan.estimate.prefill_policy
+    assert plan.residency.n_layers == opt_30b.n_layers
+
+
+def test_generate_runs_real_tokens(runtime):
+    prompt = np.arange(8, dtype=np.int64).reshape(1, 8) % 100
+    result = runtime.generate(prompt, max_new_tokens=4)
+    assert result.tokens.shape == (1, 4)
+    assert (result.tokens < runtime.spec.vocab_size).all()
+
+
+def test_generate_deterministic(tiny_spec, spr_a100):
+    prompt = np.arange(6, dtype=np.int64).reshape(1, 6)
+    a = LiaRuntime(tiny_spec, spr_a100, seed=5).generate(prompt, 3)
+    b = LiaRuntime(tiny_spec, spr_a100, seed=5).generate(prompt, 3)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+
+
+def test_functional_engine_rejects_huge_models(opt_30b, spr_a100,
+                                               eval_config):
+    runtime = LiaRuntime(opt_30b, spr_a100, eval_config)
+    with pytest.raises(ConfigurationError, match="too large"):
+        runtime.functional_model()
+
+
+def test_timeline_simulation(opt_175b, spr_a100, eval_config):
+    runtime = LiaRuntime(opt_175b, spr_a100, eval_config)
+    request = InferenceRequest(64, 256, 32)
+    timeline = runtime.simulate_timeline(request, Stage.DECODE,
+                                         n_layers=8)
+    assert timeline.makespan > 0.0
+    assert "pcie" in timeline.by_resource()
+    gantt = timeline.render_gantt()
+    assert "makespan" in gantt
+
+
+def test_timeline_overlap_beats_serial(opt_175b, spr_a100, eval_config):
+    request = InferenceRequest(900, 256, 32)
+    overlapped = LiaRuntime(opt_175b, spr_a100,
+                            eval_config).simulate_timeline(
+        request, Stage.DECODE, n_layers=12)
+    serial = LiaRuntime(opt_175b, spr_a100,
+                        eval_config.without_overlap()).simulate_timeline(
+        request, Stage.DECODE, n_layers=12)
+    # The serial graph chains everything; overlap pipelines PCIe.
+    assert overlapped.makespan <= serial.makespan * 1.01
+
+
+def test_simulate_request_matches_estimator(opt_30b, spr_a100,
+                                            eval_config):
+    """The full-request DES replay converges to the closed-form
+    estimate (scaled to the capped depth/steps)."""
+    runtime = LiaRuntime(opt_30b, spr_a100, eval_config)
+    request = InferenceRequest(64, 256, 32)
+    depth, steps = 12, 4
+    timeline = runtime.simulate_request(request, n_layers=depth,
+                                        decode_steps=steps)
+    estimate = runtime.plan(request).estimate
+    scaled = ((estimate.prefill.time
+               + estimate.decode.time * steps / request.output_len)
+              * depth / opt_30b.n_layers)
+    assert timeline.makespan == pytest.approx(scaled, rel=0.12)
+
+
+def test_simulate_request_resources(opt_30b, spr_a100, eval_config):
+    runtime = LiaRuntime(opt_30b, spr_a100, eval_config)
+    timeline = runtime.simulate_request(InferenceRequest(1, 64, 8),
+                                        n_layers=4, decode_steps=2)
+    assert set(timeline.by_resource()) <= {"compute", "pcie"}
+    assert timeline.makespan > 0.0

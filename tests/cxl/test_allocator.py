@@ -1,0 +1,77 @@
+"""Tiered memory allocator."""
+
+import pytest
+
+from repro.cxl.allocator import TieredAllocator
+from repro.errors import CapacityError, ConfigurationError
+from repro.hardware.memory import cxl_expander, ddr_subsystem
+
+
+@pytest.fixture
+def allocator():
+    alloc = TieredAllocator()
+    alloc.add_pool(ddr_subsystem("ddr", 8, 4800, capacity_gib=512))
+    alloc.add_pool(cxl_expander("cxl", capacity_gib=128))
+    return alloc
+
+
+def test_allocate_and_account(allocator):
+    allocator.allocate("weights", "cxl", 100 * 2**30)
+    assert allocator.used("cxl") == 100 * 2**30
+    assert allocator.free("cxl") == 28 * 2**30
+    assert allocator.used("ddr") == 0.0
+    assert allocator.utilization("cxl") == pytest.approx(100 / 128)
+
+
+def test_over_commit_refused(allocator):
+    with pytest.raises(CapacityError) as exc:
+        allocator.allocate("weights", "cxl", 200 * 2**30)
+    assert exc.value.requested == 200 * 2**30
+    assert exc.value.device == "cxl"
+
+
+def test_over_commit_across_allocations(allocator):
+    allocator.allocate("a", "cxl", 100 * 2**30)
+    with pytest.raises(CapacityError):
+        allocator.allocate("b", "cxl", 30 * 2**30)
+
+
+def test_release_frees_capacity(allocator):
+    allocator.allocate("a", "cxl", 100 * 2**30)
+    allocator.release("a")
+    allocator.allocate("b", "cxl", 120 * 2**30)
+    assert allocator.used("cxl") == 120 * 2**30
+
+
+def test_duplicate_label_rejected(allocator):
+    allocator.allocate("a", "ddr", 1)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        allocator.allocate("a", "cxl", 1)
+
+
+def test_unknown_pool_rejected(allocator):
+    with pytest.raises(ConfigurationError, match="unknown pool"):
+        allocator.allocate("a", "hbm", 1)
+
+
+def test_unknown_release_rejected(allocator):
+    with pytest.raises(ConfigurationError, match="unknown allocation"):
+        allocator.release("nope")
+
+
+def test_allocations_listing(allocator):
+    allocator.allocate("kv", "ddr", 10)
+    allocator.allocate("weights", "cxl", 20)
+    assert [a.label for a in allocator.allocations()] == ["kv", "weights"]
+    assert [a.label for a in allocator.allocations("cxl")] == ["weights"]
+    assert allocator.allocation("kv").pool == "ddr"
+
+
+def test_duplicate_pool_rejected(allocator):
+    with pytest.raises(ConfigurationError, match="duplicate pool"):
+        allocator.add_pool(cxl_expander("cxl"))
+
+
+def test_negative_allocation_rejected(allocator):
+    with pytest.raises(ConfigurationError):
+        allocator.allocate("a", "ddr", -1)

@@ -1,0 +1,89 @@
+"""Fig. 8 CXL characterization."""
+
+import pytest
+
+from repro.cxl.bandwidth import (
+    cpu_throughput_degradation,
+    transfer_bandwidth_series,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import get_link
+from repro.hardware.memory import ddr_subsystem
+from repro.hardware.system import get_system
+from repro.models.sublayers import Stage, Sublayer
+from repro.models.zoo import get_model
+from repro.units import mb
+
+
+@pytest.fixture
+def cxl_system(spr_a100):
+    return spr_a100.with_cxl(n_expanders=2)
+
+
+def test_two_expanders_reach_ddr_parity_at_300mb():
+    # Observation-1 / Fig. 8(a).
+    link = get_link("pcie4")
+    ddr = ddr_subsystem("ddr", 8, 4800, 512)
+    series = transfer_bandwidth_series(link, [mb(300)], ddr)
+    assert series["cxl-x2"][0] == pytest.approx(series["ddr"][0],
+                                                rel=0.02)
+
+
+def test_single_expander_throttles():
+    link = get_link("pcie4")
+    ddr = ddr_subsystem("ddr", 8, 4800, 512)
+    series = transfer_bandwidth_series(link, [mb(300)], ddr)
+    assert series["cxl-x1"][0] < 0.65 * series["ddr"][0]
+
+
+def test_bandwidth_ramps_with_size():
+    link = get_link("pcie4")
+    ddr = ddr_subsystem("ddr", 8, 4800, 512)
+    series = transfer_bandwidth_series(link, [mb(1), mb(64), mb(600)],
+                                       ddr)
+    for rates in series.values():
+        assert rates == sorted(rates)
+
+
+def test_empty_sizes_rejected():
+    link = get_link("pcie4")
+    ddr = ddr_subsystem("ddr", 8, 4800, 512)
+    with pytest.raises(ConfigurationError):
+        transfer_bandwidth_series(link, [], ddr)
+
+
+def test_sublayer2_degrades_more_than_sublayer1(cxl_system):
+    # Observation-2 / Fig. 8(b): the ops/byte ~ 1 sublayer suffers
+    # more from CXL placement.
+    spec = get_model("opt-175b")
+    batches = [64]
+    s1 = cpu_throughput_degradation(cxl_system, spec,
+                                    Sublayer.QKV_MAPPING, Stage.DECODE,
+                                    batches, 256)[0]
+    s2 = cpu_throughput_degradation(cxl_system, spec,
+                                    Sublayer.ATTENTION_SCORE,
+                                    Stage.DECODE, batches, 256)[0]
+    assert s2 < s1
+    assert 0.05 <= s2 <= 0.5  # 50-95 % degradation
+    assert s1 <= 1.0
+
+
+def test_degradation_ranges_match_paper(cxl_system):
+    # Fig. 8(b): sublayer 1 degrades 11-70 %, sublayer 2 10-82 %.
+    spec = get_model("opt-175b")
+    batches = [1, 8, 64, 512]
+    s1 = cpu_throughput_degradation(cxl_system, spec,
+                                    Sublayer.QKV_MAPPING,
+                                    Stage.PREFILL, batches, 256)
+    # Compute-bound at large B*L: degradation shrinks.
+    assert s1[-1] > s1[0]
+    assert s1[-1] > 0.5
+
+
+def test_prefill_sublayer1_degradation_shrinks_with_bl(cxl_system):
+    spec = get_model("opt-175b")
+    ratios = cpu_throughput_degradation(cxl_system, spec,
+                                        Sublayer.QKV_MAPPING,
+                                        Stage.PREFILL,
+                                        [1, 16, 256], 512)
+    assert ratios == sorted(ratios)

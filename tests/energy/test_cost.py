@@ -1,0 +1,73 @@
+"""Cost models (Fig. 14, §8)."""
+
+import pytest
+
+from repro.core.estimator import LiaEstimator
+from repro.energy.cost import (
+    CostModel,
+    cost_per_million_tokens,
+    memory_system_cost,
+    tokens_per_second_per_watt,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+
+
+def test_capital_amortization(gnr_a100):
+    model = CostModel(gnr_a100)
+    assert model.capital_usd_per_hour == pytest.approx(
+        gnr_a100.price_usd / (3 * 24 * 365))
+
+
+def test_power_cost():
+    model = CostModel(get_system("gnr-a100"))
+    # 1 kW for an hour at $0.10/kWh.
+    assert model.power_usd_per_hour(1000.0) == pytest.approx(0.10)
+    with pytest.raises(ConfigurationError):
+        model.power_usd_per_hour(-1.0)
+
+
+def test_cost_per_mtoken_scales_inverse_throughput(opt_30b, gnr_a100,
+                                                   eval_config):
+    estimator = LiaEstimator(opt_30b, gnr_a100, eval_config)
+    slow = estimator.estimate(InferenceRequest(1, 256, 32))
+    fast = estimator.estimate(InferenceRequest(64, 256, 32))
+    assert (cost_per_million_tokens(gnr_a100, fast)
+            < cost_per_million_tokens(gnr_a100, slow))
+
+
+def test_section8_memory_cost_saving():
+    # §8: OPT-175B's memory bill drops from ~$6,300 to ~$3,200 when
+    # ~43 % of the working set moves to CXL.
+    total = 560e9  # working-set bytes
+    all_ddr = memory_system_cost(total)
+    tiered = memory_system_cost(total * 0.57, total * 0.43)
+    assert all_ddr == pytest.approx(6300, rel=0.05)
+    assert 2800 <= tiered <= 3900
+    assert tiered < all_ddr * 0.65
+
+
+def test_memory_cost_validation():
+    with pytest.raises(ConfigurationError):
+        memory_system_cost(-1.0)
+
+
+def test_tokens_per_watt(opt_30b, gnr_a100, eval_config):
+    estimate = LiaEstimator(opt_30b, gnr_a100, eval_config).estimate(
+        InferenceRequest(64, 256, 32))
+    per_watt = tokens_per_second_per_watt(gnr_a100, estimate)
+    assert per_watt == pytest.approx(estimate.throughput
+                                     / gnr_a100.tdp_watts)
+
+
+def test_gnr_a100_cheaper_than_dgx_per_token_at_b1(opt_30b, eval_config):
+    # Fig. 14's cost direction at B=1 (using LIA on both scales as a
+    # smoke check of the cost plumbing).
+    gnr = get_system("gnr-a100")
+    spec = get_model("opt-175b")
+    request = InferenceRequest(1, 256, 32)
+    lia = LiaEstimator(spec, gnr, eval_config).estimate(request)
+    cost = cost_per_million_tokens(gnr, lia)
+    assert cost > 0.0

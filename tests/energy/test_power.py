@@ -1,0 +1,73 @@
+"""Power and energy model (Fig. 12)."""
+
+import pytest
+
+from repro.baselines.flexgen import FlexGenEstimator
+from repro.baselines.ipex import IpexEstimator
+from repro.core.estimator import LiaEstimator
+from repro.energy.power import EnergyReport, PowerModel, energy_per_token
+from repro.errors import ConfigurationError
+from repro.models.workload import InferenceRequest
+
+
+def test_average_power_between_idle_and_tdp(opt_30b, spr_a100,
+                                            eval_config):
+    estimate = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(
+        InferenceRequest(1, 256, 32))
+    power = PowerModel(spr_a100).average_power(estimate)
+    idle = (spr_a100.platform_power_watts
+            + 0.35 * (spr_a100.cpu.tdp_watts + spr_a100.gpu.tdp_watts))
+    assert idle <= power <= spr_a100.tdp_watts
+
+
+def test_energy_report_arithmetic():
+    report = EnergyReport(average_power_watts=500.0, latency_seconds=10.0,
+                          tokens=100)
+    assert report.total_energy_joules == 5000.0
+    assert report.energy_per_token_joules == 50.0
+
+
+def test_zero_tokens_rejected():
+    report = EnergyReport(500.0, 10.0, 0)
+    with pytest.raises(ConfigurationError):
+        __ = report.energy_per_token_joules
+
+
+def test_invalid_idle_fraction(spr_a100):
+    with pytest.raises(ConfigurationError):
+        PowerModel(spr_a100, idle_fraction=1.5)
+
+
+def test_lia_more_efficient_than_ipex(opt_30b, spr_a100, eval_config):
+    # Fig. 12: LIA is 1.1-5.8x more energy-efficient than IPEX.
+    request = InferenceRequest(64, 2016, 32)
+    lia = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    ipex = IpexEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    ratio = (energy_per_token(spr_a100, ipex)
+             / energy_per_token(spr_a100, lia))
+    assert 1.05 <= ratio <= 8.0
+
+
+def test_lia_more_efficient_than_flexgen(opt_30b, spr_a100,
+                                         eval_config):
+    # Fig. 12: 1.6-10.3x over FlexGen, largest at small B.
+    request = InferenceRequest(1, 32, 32)
+    lia = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(request)
+    flexgen = FlexGenEstimator(opt_30b, spr_a100,
+                               eval_config).estimate(request)
+    ratio = (energy_per_token(spr_a100, flexgen)
+             / energy_per_token(spr_a100, lia))
+    assert ratio >= 1.6
+
+
+def test_flexgen_gap_narrows_at_b900(opt_30b, spr_a100, eval_config):
+    def gap(batch):
+        request = InferenceRequest(batch, 32, 32)
+        lia = LiaEstimator(opt_30b, spr_a100, eval_config).estimate(
+            request)
+        flexgen = FlexGenEstimator(opt_30b, spr_a100,
+                                   eval_config).estimate(request)
+        return (energy_per_token(spr_a100, flexgen)
+                / energy_per_token(spr_a100, lia))
+
+    assert gap(900) < gap(1)

@@ -1,0 +1,102 @@
+"""CPU calibration against the paper's measured numbers (§4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import (
+    AMX_FLOPS_PER_CYCLE,
+    AVX512_FLOPS_PER_CYCLE,
+    get_cpu,
+)
+from repro.hardware.roofline import MatmulKind
+
+
+def test_amx_is_8x_avx_per_cycle():
+    # §4.1: AMX's theoretical throughput is 8x AVX512's.
+    assert AMX_FLOPS_PER_CYCLE == 8 * AVX512_FLOPS_PER_CYCLE
+
+
+def test_spr_amx_theoretical_peak():
+    # §4.1: 90.1 TFLOPS on the 40-core SPR.
+    spr = get_cpu("spr")
+    assert spr.engine("amx").peak_flops / 1e12 == pytest.approx(90.1,
+                                                                rel=0.01)
+
+
+def test_spr_amx_measured_peak_near_20_tflops():
+    spr = get_cpu("spr")
+    measured = spr.engine("amx").measured_peak_flops() / 1e12
+    assert 18 <= measured <= 22
+
+
+def test_gnr_amx_measured_peak_near_40_tflops():
+    gnr = get_cpu("gnr")
+    measured = gnr.engine("amx").measured_peak_flops() / 1e12
+    assert 36 <= measured <= 46
+
+
+def test_amx_over_avx_measured_ratio():
+    # §4.1: measured max ~4.5x over the evaluated range.
+    spr = get_cpu("spr")
+    ratio = (spr.engine("amx").measured_peak_flops()
+             / spr.engine("avx512").measured_peak_flops())
+    assert 4.0 <= ratio <= 5.0
+
+
+def test_spr_memory_bandwidth():
+    # §4.2: 260 GB/s on the 8-channel DDR5-4800 system.
+    spr = get_cpu("spr")
+    assert spr.memory.bandwidth / 1e9 == pytest.approx(260, rel=0.02)
+
+
+def test_spr_gemv_peak_199_gflops():
+    # §4.2: SPR GEMV peaks at 199 GFLOPS (ops/byte = 1 workload).
+    spr = get_cpu("spr")
+    amx = spr.engine("amx")
+    flops = 1e9
+    tput = amx.matmul_throughput(flops, flops,
+                                 MatmulKind.BATCHED_GEMV)
+    assert tput / 1e9 == pytest.approx(199, rel=0.03)
+
+
+def test_gnr_gemv_70_percent_over_spr():
+    # §4.2: GNR improves GEMV throughput by ~70 % via 12 channels of
+    # DDR5-5600.
+    spr = get_cpu("spr").engine("amx")
+    gnr = get_cpu("gnr").engine("amx")
+    flops = 1e9
+    ratio = (gnr.matmul_throughput(flops, flops, MatmulKind.BATCHED_GEMV)
+             / spr.matmul_throughput(flops, flops,
+                                     MatmulKind.BATCHED_GEMV))
+    assert 1.5 <= ratio <= 1.9
+
+
+def test_two_socket_gnr_scales_gemm():
+    # §4.1: a 2-socket GNR yields ~1.8x more GEMM throughput.
+    one = get_cpu("gnr").engine("amx").measured_peak_flops()
+    two = get_cpu("gnr-2s").engine("amx").measured_peak_flops()
+    assert 1.6 <= two / one <= 2.0
+
+
+def test_grace_cpu_matches_section8():
+    # §8 footnote: Grace peaks at 6.91 TFLOPS; its cores stream LPDDR
+    # at ~435 GB/s while the C2C fabric moves 900 GB/s to the GPU.
+    grace = get_cpu("grace")
+    assert grace.engine("sve2").peak_flops / 1e12 == pytest.approx(6.91)
+    assert grace.engine("sve2").mem_bandwidth / 1e9 == pytest.approx(
+        512 * 0.85, rel=0.01)
+    assert grace.memory.bandwidth / 1e9 == pytest.approx(900, rel=0.01)
+
+
+def test_best_engine_is_amx():
+    assert get_cpu("spr").best_engine.name == "spr-amx"
+
+
+def test_unknown_engine_raises():
+    with pytest.raises(ConfigurationError, match="no engine"):
+        get_cpu("spr").engine("amx2")
+
+
+def test_unknown_cpu_raises():
+    with pytest.raises(ConfigurationError, match="unknown CPU"):
+        get_cpu("epyc")

@@ -1,0 +1,124 @@
+"""GPU calibration: the §4 cross-architecture ratios."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.cpu import get_cpu
+from repro.hardware.gpu import get_gpu
+from repro.hardware.roofline import MatmulKind
+from repro.models.zoo import get_model
+
+
+def _gemm_tput(engine, bl: int) -> float:
+    spec = get_model("opt-175b")
+    d = spec.d_model
+    return engine.matmul_throughput(8.0 * bl * d * d,
+                                    2.0 * bl * d + 8.0 * d * d)
+
+
+def _gemv_tput(engine, batch: int, length: int = 1024) -> float:
+    spec = get_model("opt-175b")
+    flops = 2.0 * batch * length * spec.d_model
+    bytes_moved = (2.0 * batch * spec.d_model
+                   + 2.0 * batch * length * spec.d_model)
+    return engine.matmul_throughput(flops, bytes_moved,
+                                    MatmulKind.BATCHED_GEMV)
+
+
+def test_gemm_ranking_matches_fig5():
+    # §4.1 ranking at large sizes: H100 > A100 > V100 > GNR > SPR >
+    # P100 > AVX512.
+    engines = {
+        "h100": get_gpu("h100").engine,
+        "a100": get_gpu("a100").engine,
+        "v100": get_gpu("v100").engine,
+        "gnr": get_cpu("gnr").engine("amx"),
+        "spr": get_cpu("spr").engine("amx"),
+        "p100": get_gpu("p100").engine,
+        "avx512": get_cpu("spr").engine("avx512"),
+    }
+    tputs = {name: _gemm_tput(e, 36864) for name, e in engines.items()}
+    order = sorted(tputs, key=tputs.get, reverse=True)
+    assert order == ["h100", "a100", "v100", "gnr", "spr", "p100",
+                     "avx512"]
+
+
+def test_spr_fraction_of_h100_gemm():
+    # §4.1: SPR-AMX reaches 4-11 % of H100 GEMM over the BL range,
+    # with the higher fractions at small sizes.
+    spr = get_cpu("spr").engine("amx")
+    h100 = get_gpu("h100").engine
+    small = _gemm_tput(spr, 64) / _gemm_tput(h100, 64)
+    large = _gemm_tput(spr, 36864) / _gemm_tput(h100, 36864)
+    assert 0.03 <= large <= 0.08
+    assert 0.08 <= small <= 0.16
+    assert small > large
+
+
+def test_spr_fraction_of_a100_gemm():
+    # §4.1: 7-15 % of A100.
+    spr = get_cpu("spr").engine("amx")
+    a100 = get_gpu("a100").engine
+    large = _gemm_tput(spr, 36864) / _gemm_tput(a100, 36864)
+    assert 0.07 <= large <= 0.16
+
+
+def test_spr_vs_p100_gemm():
+    # §4.1: SPR-AMX measured max is ~2.4x P100's.
+    spr = get_cpu("spr").engine("amx")
+    p100 = get_gpu("p100").engine
+    ratio = _gemm_tput(spr, 36864) / _gemm_tput(p100, 36864)
+    assert 2.0 <= ratio <= 2.8
+
+
+def test_gemv_ranking_matches_fig5():
+    # §4.2 GEMV ranking: H100 > A100 > V100 > P100 > GNR > SPR ~ AVX.
+    engines = {
+        "h100": get_gpu("h100").engine,
+        "a100": get_gpu("a100").engine,
+        "v100": get_gpu("v100").engine,
+        "p100": get_gpu("p100").engine,
+        "gnr": get_cpu("gnr").engine("amx"),
+        "spr": get_cpu("spr").engine("amx"),
+    }
+    tputs = {name: _gemv_tput(e, 512) for name, e in engines.items()}
+    order = sorted(tputs, key=tputs.get, reverse=True)
+    assert order == ["h100", "a100", "v100", "p100", "gnr", "spr"]
+
+
+def test_spr_gemv_fractions_of_gpus():
+    # §4.2: SPR reaches ~19 % of A100 and ~15 % of H100 GEMV at large
+    # sizes (the relative-memory-bandwidth ratios).
+    spr = _gemv_tput(get_cpu("spr").engine("amx"), 512)
+    a100 = _gemv_tput(get_gpu("a100").engine, 512)
+    h100 = _gemv_tput(get_gpu("h100").engine, 512)
+    assert spr / a100 == pytest.approx(0.20, abs=0.04)
+    assert spr / h100 == pytest.approx(0.15, abs=0.04)
+
+
+def test_spr_gemv_closes_gap_at_small_sizes():
+    # §4.2: at small sizes SPR reaches ~35-38 % of H100/A100 because
+    # of GPU kernel-invocation overhead.
+    spr_small = _gemv_tput(get_cpu("spr").engine("amx"), 1, 64)
+    h100_small = _gemv_tput(get_gpu("h100").engine, 1, 64)
+    spr_large = _gemv_tput(get_cpu("spr").engine("amx"), 512)
+    h100_large = _gemv_tput(get_gpu("h100").engine, 512)
+    assert spr_small / h100_small > spr_large / h100_large
+
+
+def test_hbm_capacities_match_table2():
+    assert get_gpu("a100").memory_capacity == 40 * 2**30
+    assert get_gpu("h100").memory_capacity == 80 * 2**30
+
+
+def test_avx_matches_amx_on_gemv():
+    # §4.2: AVX512 and AMX GEMV differ by < 10 % (both memory-bound).
+    spr = get_cpu("spr")
+    amx = _gemv_tput(spr.engine("amx"), 512)
+    avx = _gemv_tput(spr.engine("avx512"), 512)
+    assert abs(amx - avx) / amx < 0.10
+
+
+def test_unknown_gpu_raises():
+    with pytest.raises(ConfigurationError, match="unknown GPU"):
+        get_gpu("b100")

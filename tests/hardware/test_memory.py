@@ -1,0 +1,81 @@
+"""Memory devices: DDR, HBM, CXL, and interleaving."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import (
+    MemoryDevice,
+    MemoryKind,
+    cxl_expander,
+    ddr_subsystem,
+    hbm_stack,
+    interleave,
+)
+
+
+def test_ddr_subsystem_bandwidth_formula():
+    # 8 x DDR5-4800 = 307.2 GB/s theoretical.
+    ddr = ddr_subsystem("test", channels=8, mt_per_s=4800,
+                        capacity_gib=512, efficiency=1.0)
+    assert ddr.bandwidth == pytest.approx(307.2e9)
+    assert ddr.kind is MemoryKind.DDR
+
+
+def test_cxl_expander_defaults():
+    cxl = cxl_expander()
+    assert cxl.kind is MemoryKind.CXL
+    assert cxl.bandwidth == pytest.approx(17e9)
+    assert cxl.capacity_bytes == 128 * 2**30
+
+
+def test_cxl_latency_penalty_in_paper_range():
+    # §2.3: CXL adds 140-170 ns over DDR.
+    ddr = ddr_subsystem("d", 8, 4800, 512)
+    cxl = cxl_expander()
+    extra_ns = (cxl.latency - ddr.latency) * 1e9
+    assert 140 <= extra_ns <= 170
+
+
+def test_interleave_two_expanders():
+    # §6 Observation-1: two 17 GB/s expanders give ~34 GB/s.
+    pool = interleave([cxl_expander("a"), cxl_expander("b")])
+    assert pool.bandwidth == pytest.approx(34e9)
+    assert pool.capacity_bytes == 2 * 128 * 2**30
+    assert pool.kind is MemoryKind.CXL
+
+
+def test_interleave_rejects_mixed_kinds():
+    with pytest.raises(ConfigurationError, match="mixed memory kinds"):
+        interleave([cxl_expander("a"), hbm_stack("h", 40, 1300)])
+
+
+def test_interleave_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        interleave([])
+
+
+def test_transfer_time_includes_latency():
+    device = MemoryDevice("m", MemoryKind.DDR, capacity_bytes=1e9,
+                          bandwidth=1e9, latency=1e-6)
+    assert device.transfer_time(0) == 0.0
+    assert device.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+    with pytest.raises(ConfigurationError):
+        device.transfer_time(-1)
+
+
+def test_cxl_cheaper_per_gb_than_ddr():
+    # §8: half-DDR/half-CXL averages $5.60/GB vs $11.25 all-DDR.
+    ddr = ddr_subsystem("d", 8, 4800, 512)
+    cxl = cxl_expander()
+    assert cxl.cost_per_gb < ddr.cost_per_gb / 2
+    blended = (ddr.cost_per_gb + cxl.cost_per_gb) / 2
+    assert blended == pytest.approx(5.60, abs=1.0)
+
+
+def test_device_validation():
+    with pytest.raises(ConfigurationError):
+        MemoryDevice("bad", MemoryKind.DDR, capacity_bytes=0,
+                     bandwidth=1e9, latency=0)
+    with pytest.raises(ConfigurationError):
+        MemoryDevice("bad", MemoryKind.DDR, capacity_bytes=1,
+                     bandwidth=0, latency=0)

@@ -1,0 +1,85 @@
+"""AMX tile-pipeline emulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.amx import (
+    AMX_TILE_K,
+    AMX_TILE_M,
+    AMX_TILE_N,
+    amx_gemm,
+    amx_tile_count,
+)
+from repro.kernels.quant import bf16_matmul_reference
+
+
+def test_tile_geometry():
+    # TDPBF16PS: 16x16 FP32 C tile, K depth 32 BF16 pairs.
+    assert (AMX_TILE_M, AMX_TILE_N, AMX_TILE_K) == (16, 16, 32)
+
+
+def test_tile_count_exact_multiples():
+    assert amx_tile_count(16, 16, 32) == 1
+    assert amx_tile_count(32, 32, 64) == 8
+
+
+def test_tile_count_rounds_up():
+    assert amx_tile_count(17, 16, 32) == 2
+    assert amx_tile_count(1, 1, 1) == 1
+
+
+def test_tile_count_flop_accounting():
+    # Each tile op performs 2*16*16*32 = 16384 FLOP; tiled FLOPs must
+    # cover the nominal GEMM FLOPs.
+    rows, cols, depth = 100, 200, 300
+    nominal = 2 * rows * cols * depth
+    tiled = amx_tile_count(rows, cols, depth) * 2 * 16 * 16 * 32
+    assert tiled >= nominal
+    assert tiled < nominal * 1.4
+
+
+def test_tile_count_validation():
+    with pytest.raises(ConfigurationError):
+        amx_tile_count(0, 16, 32)
+
+
+def test_amx_matches_reference_exact_tiles():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 1, (32, 64)).astype(np.float32)
+    b = rng.normal(0, 1, (64, 48)).astype(np.float32)
+    np.testing.assert_allclose(amx_gemm(a, b),
+                               bf16_matmul_reference(a, b),
+                               rtol=1e-5, atol=1e-5)
+
+
+def test_amx_matches_reference_ragged_shapes():
+    rng = np.random.default_rng(1)
+    a = rng.normal(0, 1, (7, 33)).astype(np.float32)
+    b = rng.normal(0, 1, (33, 19)).astype(np.float32)
+    np.testing.assert_allclose(amx_gemm(a, b),
+                               bf16_matmul_reference(a, b),
+                               rtol=1e-5, atol=1e-5)
+
+
+def test_amx_identity():
+    identity = np.eye(48, dtype=np.float32)
+    rng = np.random.default_rng(2)
+    b = rng.normal(0, 1, (48, 32)).astype(np.float32)
+    np.testing.assert_allclose(amx_gemm(identity, b),
+                               bf16_matmul_reference(identity, b),
+                               atol=1e-6)
+
+
+def test_amx_shape_validation():
+    with pytest.raises(ConfigurationError):
+        amx_gemm(np.zeros((4, 5)), np.zeros((6, 7)))
+    with pytest.raises(ConfigurationError):
+        amx_gemm(np.zeros(4), np.zeros((4, 4)))
+
+
+def test_amx_output_dtype_and_shape():
+    out = amx_gemm(np.zeros((5, 40), dtype=np.float32),
+                   np.zeros((40, 9), dtype=np.float32))
+    assert out.shape == (5, 9)
+    assert out.dtype == np.float32

@@ -1,0 +1,62 @@
+"""Reference GEMM/GEMV kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.gemm import batched_gemv, gemm, gemv
+
+
+def test_gemm_matches_numpy_fp32():
+    rng = np.random.default_rng(0)
+    a = rng.normal(0, 1, (8, 16)).astype(np.float32)
+    b = rng.normal(0, 1, (16, 4)).astype(np.float32)
+    exact = gemm(a, b, bf16=False)
+    np.testing.assert_allclose(exact, a @ b, rtol=1e-6)
+
+
+def test_gemm_bf16_close_to_fp32():
+    rng = np.random.default_rng(1)
+    a = rng.normal(0, 1, (32, 64)).astype(np.float32)
+    b = rng.normal(0, 1, (64, 32)).astype(np.float32)
+    np.testing.assert_allclose(gemm(a, b), a @ b, rtol=0.05, atol=0.05)
+
+
+def test_gemm_shape_mismatch():
+    with pytest.raises(ConfigurationError, match="mismatch"):
+        gemm(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+def test_gemm_requires_2d():
+    with pytest.raises(ConfigurationError):
+        gemm(np.zeros(3), np.zeros((3, 3)))
+
+
+def test_gemv():
+    matrix = np.eye(4, dtype=np.float32) * 2.0
+    vector = np.arange(4, dtype=np.float32)
+    np.testing.assert_allclose(gemv(matrix, vector), 2.0 * vector)
+
+
+def test_gemv_shape_validation():
+    with pytest.raises(ConfigurationError):
+        gemv(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+def test_batched_gemv_matches_loop():
+    rng = np.random.default_rng(2)
+    mats = rng.normal(0, 1, (6, 8, 5)).astype(np.float32)
+    vecs = rng.normal(0, 1, (6, 8)).astype(np.float32)
+    batched = batched_gemv(mats, vecs, bf16=False)
+    for i in range(6):
+        np.testing.assert_allclose(batched[i], vecs[i] @ mats[i],
+                                   rtol=1e-5)
+
+
+def test_batched_gemv_validation():
+    with pytest.raises(ConfigurationError):
+        batched_gemv(np.zeros((2, 3, 4)), np.zeros((3, 3)))
+    with pytest.raises(ConfigurationError):
+        batched_gemv(np.zeros((2, 3, 4)), np.zeros((2, 4)))
+    with pytest.raises(ConfigurationError):
+        batched_gemv(np.zeros((2, 3)), np.zeros((2, 3)))

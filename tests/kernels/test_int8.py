@@ -1,0 +1,57 @@
+"""INT8 quantization kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.quant import (
+    bf16_matmul_reference,
+    int8_dequantize,
+    int8_quantize,
+    w8a16_matmul_reference,
+)
+
+
+def test_roundtrip_error_bounded():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0, 0.5, (64, 32)).astype(np.float32)
+    q, scales = int8_quantize(weights)
+    restored = int8_dequantize(q, scales)
+    # Symmetric 8-bit: error <= scale/2 = max|row| / 254 per element.
+    bound = np.abs(weights).max(axis=1, keepdims=True) / 254.0
+    assert (np.abs(restored - weights) <= bound + 1e-7).all()
+
+
+def test_quantized_dtype_and_range():
+    rng = np.random.default_rng(1)
+    q, scales = int8_quantize(rng.normal(0, 3, (8, 8)))
+    assert q.dtype == np.int8
+    assert q.min() >= -127 and q.max() <= 127
+    assert scales.shape == (8, 1)
+    assert (scales > 0).all()
+
+
+def test_zero_rows_handled():
+    weights = np.zeros((4, 4), dtype=np.float32)
+    q, scales = int8_quantize(weights)
+    assert (q == 0).all()
+    np.testing.assert_array_equal(int8_dequantize(q, scales), weights)
+
+
+def test_extreme_values_exactly_representable():
+    weights = np.array([[127.0, -127.0, 0.0, 63.5]], dtype=np.float32)
+    q, scales = int8_quantize(weights)
+    np.testing.assert_allclose(int8_dequantize(q, scales), weights,
+                               atol=0.5)
+
+
+def test_w8a16_matmul_close_to_bf16():
+    rng = np.random.default_rng(2)
+    a = rng.normal(0, 1, (16, 64)).astype(np.float32)
+    w = rng.normal(0, 0.1, (64, 32)).astype(np.float32)
+    q, scales = int8_quantize(w.T)  # per-output-row scales
+    approx = w8a16_matmul_reference(a, q.T.astype(np.int8),
+                                    scales.T)
+    exact = bf16_matmul_reference(a, w)
+    # 8-bit weights: a few percent relative error on dot products.
+    scale = np.abs(exact).mean()
+    assert np.abs(approx - exact).mean() <= 0.05 * scale + 1e-3

@@ -1,0 +1,95 @@
+"""ModelSpec geometry and memory accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.spec import AttentionKind, FeedForwardKind, ModelSpec
+from repro.models.zoo import get_model
+
+
+def test_opt175b_headline_numbers(opt_175b):
+    assert opt_175b.d_model == 12288
+    assert opt_175b.n_heads == 96
+    assert opt_175b.d_head == 128
+    assert opt_175b.n_layers == 96
+    # ~175 billion parameters.
+    assert opt_175b.total_params == pytest.approx(175e9, rel=0.01)
+
+
+def test_opt175b_parameter_bytes_match_paper(opt_175b):
+    # §3's footnote: transferring the BF16 parameters takes ~5 s over
+    # PCIe 5.0, i.e. the model is in the 320-350 GB range.
+    gb = opt_175b.total_param_bytes / 1e9
+    assert 320 <= gb <= 360
+
+
+def test_layer_params_are_12_d_squared(opt_175b):
+    # OPT decoder layer: 3d^2 QKV + d^2 out + 4d^2 FC1 + 4d^2 FC2.
+    assert opt_175b.layer_params == 12 * opt_175b.d_model**2
+
+
+def test_kv_cache_growth_is_linear(opt_175b):
+    one = opt_175b.kv_cache_bytes(1, 1)
+    assert opt_175b.kv_cache_bytes(4, 8) == 32 * one
+    # 2 tensors x d_model x 2 bytes x layers per token.
+    assert one == 2 * 12288 * 2 * 96
+
+
+def test_paper_memory_requirement_example(opt_175b):
+    # §6: OPT-175B with B=1024 and L=256 requires ~1.4 TB.
+    total_tb = opt_175b.inference_memory_bytes(1024, 256) / 1e12
+    assert 1.3 <= total_tb <= 1.8
+
+
+def test_intro_example_b256_l1024(opt_175b):
+    # §1: B=256, L=1024 raises the requirement to ~1.6 TB (from
+    # 330 GB at B=1).
+    small = opt_175b.inference_memory_bytes(1, 1024)
+    large = opt_175b.inference_memory_bytes(256, 1024)
+    assert small / 1e9 < 400
+    assert 1.4 <= large / 1e12 <= 2.2
+
+
+def test_gqa_shrinks_kv_dim():
+    llama = get_model("llama2-70b")
+    assert llama.attention is AttentionKind.GROUPED_QUERY
+    assert llama.kv_dim == 8 * llama.d_head
+    assert llama.kv_dim < llama.d_model
+
+
+def test_swiglu_has_two_input_matrices():
+    llama = get_model("llama2-70b")
+    assert llama.feed_forward is FeedForwardKind.SWIGLU
+    assert llama.ffn_matrices_in == 2
+
+
+def test_moe_stored_vs_active_params():
+    moe = get_model("opt-moe-8x30b")
+    dense = get_model("opt-30b")
+    assert moe.ffn_params_stored == 8 * dense.ffn_params_stored
+    assert moe.ffn_params_active == 2 * dense.ffn_params_active
+
+
+def test_invalid_head_split_rejected():
+    with pytest.raises(ConfigurationError):
+        ModelSpec(name="bad", n_layers=2, d_model=100, n_heads=3,
+                  d_ff=400)
+
+
+def test_invalid_kv_head_split_rejected():
+    with pytest.raises(ConfigurationError):
+        ModelSpec(name="bad", n_layers=2, d_model=64, n_heads=4,
+                  n_kv_heads=3, d_ff=256)
+
+
+def test_moe_requires_multiple_experts():
+    with pytest.raises(ConfigurationError):
+        ModelSpec(name="bad", n_layers=2, d_model=64, n_heads=4,
+                  d_ff=256, feed_forward=FeedForwardKind.MOE,
+                  n_experts=1)
+
+
+def test_describe_mentions_size(opt_30b):
+    text = opt_30b.describe()
+    assert "opt-30b" in text
+    assert "48 layers" in text

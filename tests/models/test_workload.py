@@ -1,0 +1,74 @@
+"""Workload descriptions and generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.workload import (
+    InferenceRequest,
+    TraceKind,
+    azure_trace_lengths,
+    make_request,
+    max_input_len,
+    paper_input_lengths,
+    sweep_requests,
+)
+from repro.models.zoo import get_model
+
+
+def test_request_derived_quantities():
+    request = make_request(64, 256, 32)
+    assert request.max_context_len == 287
+    assert request.total_generated_tokens == 64 * 32
+
+
+def test_decode_context_lengths_grow_by_one():
+    request = make_request(1, 100, 4)
+    assert list(request.decode_context_lengths()) == [100, 101, 102, 103]
+
+
+def test_request_validation():
+    for bad in ((0, 10, 10), (1, 0, 10), (1, 10, 0)):
+        with pytest.raises(ConfigurationError):
+            make_request(*bad)
+
+
+def test_paper_lmax_values():
+    # §7: L_max is 2016 for L_out=32 and 1792 for L_out=256.
+    opt = get_model("opt-175b")
+    assert max_input_len(opt, 32) == 2016
+    assert max_input_len(opt, 256) == 1792
+    assert paper_input_lengths(opt, 32) == [32, 256, 2016]
+
+
+def test_fits_model():
+    opt = get_model("opt-175b")
+    assert make_request(1, 2016, 32).fits_model(opt)
+    assert not make_request(1, 2017, 32).fits_model(opt)
+
+
+def test_sweep_is_cartesian():
+    requests = sweep_requests((1, 64), (32, 256), (32,))
+    assert len(requests) == 4
+    assert requests[0] == InferenceRequest(1, 32, 32)
+    assert requests[-1] == InferenceRequest(64, 256, 32)
+
+
+def test_azure_trace_is_deterministic_and_bounded():
+    opt = get_model("opt-175b")
+    first = azure_trace_lengths(50, opt, TraceKind.CODE, seed=7)
+    second = azure_trace_lengths(50, opt, TraceKind.CODE, seed=7)
+    assert first == second
+    assert all(r.output_len == 32 for r in first)
+    assert all(32 <= r.input_len <= 2016 for r in first)
+
+
+def test_azure_trace_conversation_output_len():
+    opt = get_model("opt-175b")
+    requests = azure_trace_lengths(10, opt, TraceKind.CONVERSATION)
+    assert all(r.output_len == 256 for r in requests)
+
+
+def test_azure_trace_rejects_bad_count():
+    opt = get_model("opt-175b")
+    with pytest.raises(ConfigurationError):
+        azure_trace_lengths(0, opt)

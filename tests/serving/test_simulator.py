@@ -1,0 +1,72 @@
+"""Online serving simulation."""
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.core.estimator import LiaEstimator
+from repro.errors import ConfigurationError
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+from repro.serving.simulator import ServingReport, ServingSimulator
+
+
+@pytest.fixture
+def simulator(opt_30b, spr_a100, eval_config):
+    return ServingSimulator(LiaEstimator(opt_30b, spr_a100, eval_config))
+
+
+def _requests(n):
+    return [InferenceRequest(1, 128, 16) for __ in range(n)]
+
+
+def test_fifo_ordering_and_queueing(simulator):
+    # Three simultaneous arrivals: each waits for its predecessors.
+    report = simulator.run(_requests(3), [0.0, 0.0, 0.0])
+    served = report.served
+    assert served[0].queue_delay == 0.0
+    assert served[1].start == pytest.approx(served[0].finish)
+    assert served[2].start == pytest.approx(served[1].finish)
+    assert served[2].latency > served[0].latency
+
+
+def test_idle_server_has_no_queue_delay(simulator):
+    # Arrivals far apart: no queueing.
+    report = simulator.run(_requests(3), [0.0, 1000.0, 2000.0])
+    assert all(r.queue_delay == 0.0 for r in report.served)
+    assert report.utilization < 0.1
+
+
+def test_percentiles_and_throughput(simulator):
+    report = simulator.run(_requests(5), [0.0] * 5)
+    p50 = report.latency_percentile(0.5)
+    p95 = report.latency_percentile(0.95)
+    assert p50 <= p95 <= report.makespan
+    assert report.throughput_tokens_per_s > 0
+    with pytest.raises(ConfigurationError):
+        report.latency_percentile(0.0)
+
+
+def test_poisson_deterministic_with_seed(simulator):
+    a = simulator.run_poisson(_requests(5), rate_per_s=0.5, seed=3)
+    b = simulator.run_poisson(_requests(5), rate_per_s=0.5, seed=3)
+    assert [r.arrival for r in a.served] == [r.arrival for r in b.served]
+    c = simulator.run_poisson(_requests(5), rate_per_s=0.5, seed=4)
+    assert [r.arrival for r in a.served] != [r.arrival for r in c.served]
+
+
+def test_higher_rate_means_more_queueing(simulator):
+    slow = simulator.run_poisson(_requests(8), rate_per_s=0.01, seed=0)
+    fast = simulator.run_poisson(_requests(8), rate_per_s=10.0, seed=0)
+    assert fast.mean_queue_delay >= slow.mean_queue_delay
+    assert fast.utilization >= slow.utilization
+
+
+def test_input_validation(simulator):
+    with pytest.raises(ConfigurationError, match="equal length"):
+        simulator.run(_requests(2), [0.0])
+    with pytest.raises(ConfigurationError, match="non-decreasing"):
+        simulator.run(_requests(2), [1.0, 0.0])
+    with pytest.raises(ConfigurationError):
+        simulator.run_poisson(_requests(1), rate_per_s=0.0)
+    with pytest.raises(ConfigurationError):
+        ServingReport([])

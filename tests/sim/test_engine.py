@@ -1,0 +1,87 @@
+"""Discrete-event simulator semantics."""
+
+import pytest
+
+from repro.sim.engine import Simulator, simulate
+from repro.sim.task import TaskGraph
+
+
+def test_serialization_on_one_resource():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 1.0)
+    graph.add("b", "cpu", 2.0)
+    timeline = simulate(graph)
+    assert timeline.makespan == pytest.approx(3.0)
+
+
+def test_independent_resources_run_in_parallel():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 2.0)
+    graph.add("b", "gpu", 2.0)
+    timeline = simulate(graph)
+    assert timeline.makespan == pytest.approx(2.0)
+
+
+def test_dependency_delays_start():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 1.5)
+    graph.add("b", "gpu", 1.0, deps=["a"])
+    timeline = simulate(graph)
+    record = timeline.record("b")
+    assert record.start == pytest.approx(1.5)
+    assert timeline.makespan == pytest.approx(2.5)
+
+
+def test_diamond_dependency():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 1.0)
+    graph.add("b", "gpu", 2.0, deps=["a"])
+    graph.add("c", "pcie", 3.0, deps=["a"])
+    graph.add("d", "cpu", 1.0, deps=["b", "c"])
+    timeline = simulate(graph)
+    # d starts when the slower branch (c: 1+3=4) finishes.
+    assert timeline.record("d").start == pytest.approx(4.0)
+    assert timeline.makespan == pytest.approx(5.0)
+
+
+def test_pipeline_overlap_shape():
+    # Two-stage pipeline over 3 items: transfer then compute.
+    # Steady state: makespan = first transfer + 3 computes when
+    # compute >= transfer.
+    graph = TaskGraph()
+    prev = None
+    for i in range(3):
+        deps = [] if prev is None else [prev]
+        graph.add(f"x{i}", "pcie", 1.0, deps=deps)
+        graph.add(f"c{i}", "compute", 2.0, deps=[f"x{i}"])
+        prev = f"x{i}"
+    timeline = simulate(graph)
+    assert timeline.makespan == pytest.approx(1.0 + 3 * 2.0)
+
+
+def test_zero_duration_tasks():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 0.0)
+    graph.add("b", "cpu", 0.0, deps=["a"])
+    assert simulate(graph).makespan == 0.0
+
+
+def test_empty_graph():
+    assert simulate(TaskGraph()).makespan == 0.0
+
+
+def test_simulator_class_equivalent_to_helper():
+    graph = TaskGraph()
+    graph.add("a", "cpu", 1.0)
+    assert Simulator(graph).run().makespan == simulate(graph).makespan
+
+
+def test_all_tasks_executed_exactly_once():
+    graph = TaskGraph()
+    for i in range(20):
+        deps = [f"t{i-1}"] if i else []
+        graph.add(f"t{i}", f"r{i % 3}", 0.5, deps=deps)
+    timeline = simulate(graph)
+    assert len(timeline) == 20
+    assert sorted(r.task_id for r in timeline) == sorted(
+        f"t{i}" for i in range(20))

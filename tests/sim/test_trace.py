@@ -1,0 +1,62 @@
+"""Timeline analysis and rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import TaskRecord, Timeline
+
+
+def _timeline():
+    return Timeline([
+        TaskRecord("a", "cpu", "a", 0.0, 2.0),
+        TaskRecord("b", "pcie", "b", 0.0, 1.0),
+        TaskRecord("c", "cpu", "c", 2.0, 3.0),
+    ])
+
+
+def test_makespan():
+    assert _timeline().makespan == 3.0
+
+
+def test_busy_time_and_utilization():
+    timeline = _timeline()
+    assert timeline.busy_time("cpu") == pytest.approx(3.0)
+    assert timeline.busy_time("pcie") == pytest.approx(1.0)
+    assert timeline.utilization("cpu") == pytest.approx(1.0)
+    assert timeline.utilization("pcie") == pytest.approx(1.0 / 3.0)
+
+
+def test_by_resource_grouping():
+    grouped = _timeline().by_resource()
+    assert sorted(grouped) == ["cpu", "pcie"]
+    assert [r.task_id for r in grouped["cpu"]] == ["a", "c"]
+
+
+def test_record_lookup():
+    assert _timeline().record("b").resource == "pcie"
+    with pytest.raises(SimulationError):
+        _timeline().record("zzz")
+
+
+def test_empty_timeline():
+    empty = Timeline([])
+    assert empty.makespan == 0.0
+    assert empty.utilization("cpu") == 0.0
+    assert empty.render_gantt() == "(empty timeline)"
+
+
+def test_gantt_rendering_has_rows_per_resource():
+    text = _timeline().render_gantt(width=40)
+    lines = text.splitlines()
+    assert any("cpu" in line for line in lines)
+    assert any("pcie" in line for line in lines)
+    assert "makespan" in lines[-1]
+    assert "#" in text and "." in text
+
+
+def test_records_sorted_by_start():
+    timeline = Timeline([
+        TaskRecord("late", "cpu", "late", 5.0, 6.0),
+        TaskRecord("early", "cpu", "early", 0.0, 1.0),
+    ])
+    assert [r.task_id for r in timeline.records] == ["early", "late"]

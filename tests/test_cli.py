@@ -1,0 +1,78 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_models_listing(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "opt-175b" in out
+    assert "llama2-70b" in out
+
+
+def test_systems_listing(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    assert "spr-a100" in out
+    assert "dgx-a100" in out
+    assert "$" in out
+
+
+def test_plan_online(capsys):
+    assert main(["plan", "--model", "opt-30b", "--system", "spr-a100",
+                 "--batch", "1", "--input-len", "128",
+                 "--output-len", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "prefill policy" in out
+    assert "(1, 1, 1, 1, 1, 1)" in out
+    assert "tokens/s" in out
+
+
+def test_plan_with_cxl(capsys):
+    assert main(["plan", "--model", "opt-30b", "--system", "spr-a100",
+                 "--batch", "64", "--cxl"]) == 0
+    out = capsys.readouterr().out
+    assert "CXL 55.8 GiB" in out or "CXL 55.9 GiB" in out
+
+
+def test_plan_memory_enforcement(capsys):
+    code = main(["plan", "--model", "opt-175b", "--system", "spr-a100",
+                 "--batch", "900", "--input-len", "1024",
+                 "--enforce-memory"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_policy_map(capsys):
+    assert main(["policy-map", "--model", "opt-175b", "--system",
+                 "spr-a100", "--stage", "decode", "--batches", "1",
+                 "900", "--lengths", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "(1, 1, 1, 1, 1, 1)" in out
+
+
+def test_experiment_list(capsys):
+    assert main(["experiment", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out
+    assert "tab4" in out
+
+
+def test_experiment_run_and_csv(capsys, tmp_path):
+    assert main(["experiment", "fig01", "--csv-dir",
+                 str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ops/byte heatmap" in out
+    assert (tmp_path / "fig01.csv").exists()
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_unknown_model_is_clean_error(capsys):
+    assert main(["plan", "--model", "gpt-9"]) == 1
+    assert "unknown model" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Cross-module integration tests: the public API working end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FULL_CPU,
+    LiaConfig,
+    LiaEstimator,
+    LiaRuntime,
+    get_model,
+    get_system,
+    make_request,
+)
+from repro.errors import ConfigurationError
+
+
+def test_readme_quickstart_snippet():
+    runtime = LiaRuntime(get_model("opt-175b"), get_system("spr-h100"),
+                         LiaConfig(enforce_host_capacity=False))
+    plan = runtime.plan(make_request(batch_size=1, input_len=256,
+                                     output_len=32))
+    assert plan.prefill_policy == FULL_CPU
+    assert plan.decode_policy == FULL_CPU
+    assert plan.estimate.latency > 0.0
+
+
+def test_functional_runtime_llama_tiny():
+    """LiaRuntime drives the GQA/SwiGLU functional model end to end."""
+    runtime = LiaRuntime(get_model("llama-tiny"),
+                         get_system("spr-a100"))
+    prompt = np.arange(12, dtype=np.int64).reshape(2, 6) % 100
+    result = runtime.generate(prompt, max_new_tokens=3)
+    assert result.tokens.shape == (2, 3)
+
+
+def test_every_zoo_model_estimates_on_every_single_gpu_system():
+    """No (model, system) pair crashes the estimator."""
+    config = LiaConfig(enforce_host_capacity=False)
+    request = make_request(4, 64, 4)
+    for system_name in ("spr-a100", "spr-h100", "gnr-a100", "gnr-h100",
+                        "gh200"):
+        system = get_system(system_name)
+        for model_name in ("opt-6.7b", "opt-13b", "opt-30b", "opt-66b",
+                           "opt-175b", "llama2-70b", "chinchilla-70b",
+                           "bloom-176b", "opt-moe-8x30b"):
+            estimate = LiaEstimator(get_model(model_name), system,
+                                    config).estimate(request)
+            assert estimate.latency > 0.0
+            assert estimate.throughput > 0.0
+
+
+def test_estimates_scale_sanely_across_model_sizes():
+    """Bigger models are slower at the same operating point."""
+    config = LiaConfig(enforce_host_capacity=False)
+    system = get_system("spr-a100")
+    request = make_request(1, 256, 16)
+    latencies = [
+        LiaEstimator(get_model(name), system, config).estimate(
+            request).latency
+        for name in ("opt-6.7b", "opt-30b", "opt-66b", "opt-175b")]
+    assert latencies == sorted(latencies)
+
+
+def test_cli_and_library_agree():
+    """The CLI's plan output reflects the same estimate the library
+    produces."""
+    import re
+
+    from repro.cli import main
+
+    config = LiaConfig(enforce_host_capacity=False)
+    estimate = LiaEstimator(get_model("opt-30b"),
+                            get_system("spr-a100"),
+                            config).estimate(make_request(1, 128, 8))
+    import io
+    import contextlib
+
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        assert main(["plan", "--model", "opt-30b", "--system",
+                     "spr-a100", "--batch", "1", "--input-len", "128",
+                     "--output-len", "8"]) == 0
+    match = re.search(r"latency\s*:\s*([0-9.]+)", buffer.getvalue())
+    assert match is not None
+    assert float(match.group(1)) == pytest.approx(estimate.latency,
+                                                  abs=0.002)
+
+
+def test_export_then_reload_csv(tmp_path):
+    """Exports are loadable and match the in-memory rows."""
+    import csv
+
+    from repro.experiments import fig01_opsbyte
+    from repro.experiments.export import to_csv
+
+    result = fig01_opsbyte.run()
+    path = to_csv(result, tmp_path / "fig01.csv")
+    with path.open() as handle:
+        handle.readline()  # comment
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == len(result.rows)
+    assert rows[0]["sublayer"] == result.rows[0]["sublayer"]

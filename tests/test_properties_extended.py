@@ -1,0 +1,127 @@
+"""Property-based tests for the allocator, batcher, and serving
+simulator (stateful/fuzz style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import LiaConfig
+from repro.core.estimator import (
+    LiaEstimator,
+    check_host_capacity,
+    host_memory_usage,
+)
+from repro.cxl.allocator import TieredAllocator
+from repro.errors import CapacityError
+from repro.hardware.memory import cxl_expander, ddr_subsystem
+from repro.hardware.system import get_system
+from repro.models.workload import InferenceRequest
+from repro.models.zoo import get_model
+from repro.serving.batcher import pack_requests
+from repro.serving.simulator import ServingSimulator
+
+
+# ----------------------------------------------------------------------
+# Allocator: no interleaving of operations can over-commit a pool.
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["alloc", "release"]),
+              st.integers(0, 9),
+              st.floats(0, 80 * 2**30)),
+    min_size=1, max_size=40))
+def test_allocator_never_overcommits(ops):
+    allocator = TieredAllocator()
+    allocator.add_pool(cxl_expander("pool", capacity_gib=128))
+    live = set()
+    for index, (kind, label_id, size) in enumerate(ops):
+        label = f"a{label_id}"
+        if kind == "alloc" and label not in live:
+            try:
+                allocator.allocate(label, "pool", size)
+                live.add(label)
+            except CapacityError:
+                pass
+        elif kind == "release" and label in live:
+            allocator.release(label)
+            live.remove(label)
+        used = allocator.used("pool")
+        assert 0.0 <= used <= allocator.capacity("pool")
+        assert used == pytest.approx(
+            sum(a.num_bytes for a in allocator.allocations("pool")))
+
+
+# ----------------------------------------------------------------------
+# Batcher: membership conservation and feasibility for any corpus.
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(lengths=st.lists(st.integers(16, 1984), min_size=1, max_size=60),
+       max_batch=st.integers(1, 64))
+def test_batcher_conserves_and_fits(lengths, max_batch):
+    spec = get_model("opt-30b")
+    system = get_system("spr-a100")
+    config = LiaConfig()
+    requests = [InferenceRequest(1, length, 32) for length in lengths]
+    batches = pack_requests(requests, spec, system, config,
+                            max_batch=max_batch)
+    assert sum(b.n_members for b in batches) == len(requests)
+    for batch in batches:
+        assert batch.n_members <= max_batch
+        assert 0.0 < batch.prompt_efficiency <= 1.0
+        check_host_capacity(
+            host_memory_usage(spec, batch.request, system, config),
+            system)
+    # Padded lengths cover every member.
+    longest = max(lengths)
+    assert max(b.request.input_len for b in batches) == longest
+
+
+# ----------------------------------------------------------------------
+# Serving simulator: FIFO, non-overlap, conservation.
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(gaps=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=12),
+       input_len=st.integers(16, 512))
+def test_simulator_fifo_invariants(gaps, input_len):
+    spec = get_model("opt-30b")
+    system = get_system("spr-a100")
+    estimator = LiaEstimator(spec, system,
+                             LiaConfig(enforce_host_capacity=False))
+    simulator = ServingSimulator(estimator)
+    arrivals = list(np.cumsum(gaps))
+    requests = [InferenceRequest(1, input_len, 8) for __ in gaps]
+    report = simulator.run(requests, arrivals)
+    served = report.served
+    # FIFO: starts are ordered; the server never overlaps requests.
+    for earlier, later in zip(served, served[1:]):
+        assert later.start >= earlier.finish - 1e-9
+    for record in served:
+        assert record.start >= record.arrival
+        assert record.service_time > 0.0
+    assert 0.0 < report.utilization <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Estimator: throughput is monotone in batch size until capacity-ish
+# regions, and latency monotone in every request dimension.
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(batch=st.integers(1, 1024), input_len=st.integers(16, 1024),
+       output_len=st.integers(1, 64))
+def test_estimator_latency_monotone_in_request(batch, input_len,
+                                               output_len):
+    spec = get_model("opt-30b")
+    system = get_system("spr-a100")
+    estimator = LiaEstimator(spec, system,
+                             LiaConfig(enforce_host_capacity=False))
+    base = estimator.estimate(
+        InferenceRequest(batch, input_len, output_len))
+    more_tokens = estimator.estimate(
+        InferenceRequest(batch, input_len, output_len + 1))
+    longer_prompt = estimator.estimate(
+        InferenceRequest(batch, input_len + 64, output_len))
+    bigger_batch = estimator.estimate(
+        InferenceRequest(batch + 16, input_len, output_len))
+    assert more_tokens.latency >= base.latency
+    assert longer_prompt.latency >= base.latency * 0.999
+    assert bigger_batch.latency >= base.latency * 0.999

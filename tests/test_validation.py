@@ -1,0 +1,45 @@
+"""Calibration self-check."""
+
+from repro.validation import (
+    CalibrationCheck,
+    calibration_ok,
+    render_report,
+    run_calibration,
+)
+
+
+def test_every_anchor_in_band():
+    failing = [check for check in run_calibration() if not check.ok]
+    assert not failing, "\n".join(check.render() for check in failing)
+
+
+def test_calibration_ok_flag():
+    assert calibration_ok()
+
+
+def test_report_mentions_sections():
+    report = render_report()
+    assert "SPR-AMX" in report
+    assert "anchors in band" in report
+
+
+def test_check_band_logic():
+    good = CalibrationCheck("x", 1.0, 1.05, 0.9, 1.1)
+    bad = CalibrationCheck("x", 1.0, 1.5, 0.9, 1.1)
+    assert good.ok and not bad.ok
+    assert "FAIL" in bad.render()
+    assert "ok" in good.render()
+
+
+def test_anchors_cover_all_calibration_surfaces():
+    names = " ".join(check.name for check in run_calibration())
+    for keyword in ("AMX", "GEMV", "DDR", "CXL", "PCIe", "threshold"):
+        assert keyword in names
+
+
+def test_cli_calibrate(capsys):
+    from repro.cli import main
+
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "17/17" in out or "anchors in band" in out
