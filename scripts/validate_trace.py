@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Schema-check a Chrome trace-event JSON file.
+
+Usage: ``python scripts/validate_trace.py <trace.json> [...]``
+
+Validates the subset of the Trace Event Format the telemetry layer
+emits (and Perfetto/chrome://tracing require):
+
+* top level is an object with a ``traceEvents`` list;
+* every event is an object with a known ``ph`` phase;
+* complete events ("X") carry string ``name`` and numeric, finite,
+  non-negative ``ts``/``dur`` plus ``pid``/``tid``;
+* metadata events ("M") carry ``name`` and an ``args`` object.
+
+Used by CI and the test suite; exits 0 when every file passes.
+Stdlib only — it must run on a bare checkout.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+from typing import List
+
+#: Phases the repro emits; extend when an exporter grows new ones.
+KNOWN_PHASES = {"X", "M", "C", "i", "b", "e"}
+
+
+def _check_number(event: dict, key: str, errors: List[str],
+                  where: str) -> None:
+    value = event.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        errors.append(f"{where}: {key!r} must be a number, "
+                      f"got {value!r}")
+    elif not math.isfinite(value):
+        errors.append(f"{where}: {key!r} must be finite, got {value!r}")
+    elif key in ("ts", "dur") and value < 0:
+        errors.append(f"{where}: {key!r} must be >= 0, got {value!r}")
+
+
+def validate_trace_object(document: object) -> List[str]:
+    """Return a list of schema violations (empty when valid)."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return [f"top level must be a JSON object, got "
+                f"{type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level must contain a 'traceEvents' list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing or empty 'name'")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                _check_number(event, key, errors, where)
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: {key!r} must be an int, "
+                                  f"got {event.get(key)!r}")
+            if "args" in event and not isinstance(event["args"], dict):
+                errors.append(f"{where}: 'args' must be an object")
+        elif phase == "M":
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}: metadata needs an 'args' "
+                              "object")
+    return errors
+
+
+def validate_trace_file(path) -> List[str]:
+    """Load ``path`` and validate; JSON errors are violations too."""
+    path = Path(path)
+    if not path.is_file():
+        return [f"{path}: no such file"]
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return [f"{path}: invalid JSON: {error}"]
+    return [f"{path}: {message}"
+            for message in validate_trace_object(document)]
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failures = 0
+    for argument in argv:
+        errors = validate_trace_file(argument)
+        if errors:
+            failures += 1
+            for message in errors:
+                print(f"FAIL {message}", file=sys.stderr)
+        else:
+            print(f"ok   {argument}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

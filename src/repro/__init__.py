@@ -38,6 +38,7 @@ from repro.models import (
     make_request,
     ops_per_byte_heatmap,
 )
+from repro.telemetry import Telemetry, activate
 
 __version__ = "1.0.0"
 
@@ -63,5 +64,7 @@ __all__ = [
     "list_models",
     "make_request",
     "ops_per_byte_heatmap",
+    "Telemetry",
+    "activate",
     "__version__",
 ]

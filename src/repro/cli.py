@@ -5,6 +5,8 @@ Commands:
 * ``models`` / ``systems`` — list the zoos.
 * ``plan`` — choose policies and estimate one request.
 * ``policy-map`` — print a Fig. 9-style policy grid.
+* ``trace`` — run a workload and write a Perfetto/Chrome trace plus
+  a metrics summary (see docs/OBSERVABILITY.md).
 * ``experiment`` — run experiment drivers and print (or export) the
   tables.
 """
@@ -18,7 +20,7 @@ from typing import List, Optional
 from repro.core.config import LiaConfig
 from repro.core.estimator import LiaEstimator
 from repro.core.optimizer import optimal_policy
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.hardware.cpu import CPU_ZOO
 from repro.hardware.gpu import GPU_ZOO
 from repro.hardware.system import SYSTEM_ZOO, get_system
@@ -65,6 +67,36 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=[1, 16, 64, 256, 900])
     grid.add_argument("--lengths", type=int, nargs="+",
                       default=[32, 256, 1024, 2048])
+
+    trace = commands.add_parser(
+        "trace", help="run a workload and write a Perfetto/Chrome "
+                      "trace (.trace.json) plus a metrics summary")
+    trace.add_argument("--mode",
+                       choices=["engine", "serving", "schedule"],
+                       default="engine",
+                       help="engine: functional CooperativeEngine run; "
+                            "serving: FIFO queue simulation; schedule: "
+                            "DES overlap schedule (Fig. 7)")
+    trace.add_argument("--model", default="opt-tiny")
+    trace.add_argument("--system", default="spr-a100")
+    trace.add_argument("--batch", type=int, default=1)
+    trace.add_argument("--input-len", type=int, default=8)
+    trace.add_argument("--output-len", type=int, default=4)
+    trace.add_argument("--requests", type=int, default=8,
+                       help="serving mode: number of requests")
+    trace.add_argument("--rate", type=float, default=1.0,
+                       help="serving mode: Poisson arrival rate "
+                            "(requests/s)")
+    trace.add_argument("--prefill-policy", default="auto",
+                       help="engine mode: 'auto' (Eq. 1 optimum) or a "
+                            "6-bit vector like 011000 (1 = CPU)")
+    trace.add_argument("--decode-policy", default="auto",
+                       help="engine mode: same format as "
+                            "--prefill-policy")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="repro.trace.json",
+                       help="trace path; the metrics summary lands "
+                            "next to it as <name>.metrics.json")
 
     experiment = commands.add_parser(
         "experiment", help="run experiment drivers (paper tables and "
@@ -144,6 +176,110 @@ def _cmd_policy_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_metrics_path(out: str) -> str:
+    if out.endswith(".trace.json"):
+        return out[:-len(".trace.json")] + ".metrics.json"
+    if out.endswith(".json"):
+        return out[:-len(".json")] + ".metrics.json"
+    return out + ".metrics.json"
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import (Telemetry, activate, render_metrics,
+                                 write_chrome_trace, write_metrics_json)
+
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False)
+    telemetry = Telemetry()
+    extra_events: List[dict] = []
+    metadata = {"mode": args.mode, "model": spec.name,
+                "system": system.name, "batch": args.batch,
+                "input_len": args.input_len,
+                "output_len": args.output_len}
+
+    with activate(telemetry):
+        if args.mode == "engine":
+            import numpy as np
+
+            from repro.inference.engine import CooperativeEngine
+            from repro.inference.transformer import TinyTransformer
+
+            if spec.total_param_bytes > 2 ** 30:
+                raise ConfigurationError(
+                    f"{spec.name} is too large for the functional "
+                    "engine; trace a tiny spec (e.g. opt-tiny, "
+                    "llama-tiny) or use --mode serving/schedule")
+            from repro.core.policy import OffloadPolicy
+
+            def stage_policy(spelled: str, stage: Stage) -> OffloadPolicy:
+                if spelled == "auto":
+                    return optimal_policy(spec, stage, args.batch,
+                                          args.input_len, system,
+                                          config).policy
+                return OffloadPolicy.from_string(spelled)
+
+            prefill = stage_policy(args.prefill_policy, Stage.PREFILL)
+            decode = stage_policy(args.decode_policy, Stage.DECODE)
+            metadata["prefill_policy"] = str(prefill)
+            metadata["decode_policy"] = str(decode)
+            model = TinyTransformer(spec, seed=args.seed)
+            engine = CooperativeEngine(model, prefill, decode)
+            prompt = (np.arange(args.batch * args.input_len)
+                      % spec.vocab_size).reshape(args.batch,
+                                                 args.input_len)
+            result = engine.generate(prompt,
+                                     max_new_tokens=args.output_len)
+            metadata["pcie_bytes"] = result.pcie_bytes
+            print(f"generated {result.tokens.size} tokens; "
+                  f"{result.pcie_bytes} PCIe bytes over "
+                  f"{len(result.transfers.records)} transfers")
+        elif args.mode == "serving":
+            from repro.serving.simulator import ServingSimulator
+
+            simulator = ServingSimulator(LiaEstimator(spec, system,
+                                                      config))
+            requests = [InferenceRequest(args.batch, args.input_len,
+                                         args.output_len)
+                        for __ in range(args.requests)]
+            report = simulator.run_poisson(requests,
+                                           rate_per_s=args.rate,
+                                           seed=args.seed)
+            metadata["makespan_s"] = report.makespan
+            print(f"served {len(report.served)} requests in "
+                  f"{report.makespan:.3f} s "
+                  f"(utilization {report.utilization:.1%})")
+        else:  # schedule
+            from repro.core.overlap import build_stage_graph
+            from repro.sim.engine import simulate
+
+            decision = optimal_policy(spec, Stage.DECODE, args.batch,
+                                      args.input_len, system, config)
+            graph = build_stage_graph(decision.layer,
+                                      n_layers=spec.n_layers)
+            timeline = simulate(graph)
+            extra_events = timeline.to_trace_events()
+            for resource in graph.resources():
+                telemetry.metrics.gauge(
+                    "sim.utilization", resource=resource).set(
+                        timeline.utilization(resource))
+            metadata["makespan_s"] = timeline.makespan
+            print(f"simulated {len(timeline)} tasks; makespan "
+                  f"{timeline.makespan * 1e3:.3f} ms")
+
+    trace_path = write_chrome_trace(args.out, telemetry.tracer.spans,
+                                    extra_events=extra_events,
+                                    metadata=metadata)
+    metrics_path = write_metrics_json(
+        _trace_metrics_path(args.out), telemetry.metrics,
+        title=f"{args.mode} trace of {spec.name} on {system.name}")
+    print(f"wrote {trace_path} (open in https://ui.perfetto.dev or "
+          "chrome://tracing)")
+    print(f"wrote {metrics_path}")
+    print(render_metrics(telemetry.metrics))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import default_drivers, to_csv
 
@@ -183,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.validation import calibration_ok, render_report
             print(render_report())
             return 0 if calibration_ok() else 1
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as error:

@@ -20,6 +20,7 @@ from repro.core.policy import OffloadPolicy
 from repro.hardware.system import SystemConfig
 from repro.models.spec import ModelSpec
 from repro.models.sublayers import Stage
+from repro.telemetry.runtime import current as current_telemetry
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,14 @@ def optimal_policy(spec: ModelSpec, stage: Stage, batch_size: int,
         if best is None or time < best.layer_time:
             best = PolicyDecision(stage=stage, policy=policy,
                                   layer_time=time, layer=layer)
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        # Fig. 9 sweep accounting: how many Eq. (1) searches ran and
+        # how many candidate policies each one scored.
+        telemetry.metrics.counter("policy.searches",
+                                  stage=stage.value).inc()
+        telemetry.metrics.counter("policy.evaluations",
+                                  stage=stage.value).inc(len(candidates))
     return best
 
 

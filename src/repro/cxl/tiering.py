@@ -22,6 +22,7 @@ from repro.errors import CapacityError, ConfigurationError
 from repro.hardware.system import SystemConfig
 from repro.models.spec import ModelSpec
 from repro.models.workload import InferenceRequest
+from repro.telemetry.runtime import current as current_telemetry
 
 
 @dataclass(frozen=True)
@@ -68,12 +69,21 @@ def plan_tiering(spec: ModelSpec, request: InferenceRequest,
     allocator.allocate("activations", system.cpu.memory.name,
                        tiered.activation_bytes)
 
-    return CxlTieringPlan(
+    plan = CxlTieringPlan(
         weights_to_cxl=True,
         ddr_bytes=allocator.used(system.cpu.memory.name),
         cxl_bytes=allocator.used(system.cxl_pool.name),
         ddr_bytes_without_cxl=baseline.ddr_bytes,
     )
+    telemetry = current_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.counter("cxl.tier_bytes", tier="ddr",
+                                  system=system.name).inc(plan.ddr_bytes)
+        telemetry.metrics.counter("cxl.tier_bytes", tier="cxl",
+                                  system=system.name).inc(plan.cxl_bytes)
+        telemetry.metrics.counter("cxl.plans",
+                                  system=system.name).inc()
+    return plan
 
 
 def max_batch_with_and_without_cxl(spec: ModelSpec, system: SystemConfig,
@@ -112,8 +122,19 @@ def adaptive_config(spec: ModelSpec, request: InferenceRequest,
     from repro.core.optimizer import optimal_policy
     from repro.models.sublayers import Stage, Sublayer
 
+    def count_decision(placement: str, reason: str) -> None:
+        # DDR keeps are "hits" on the fast tier; CXL placements are
+        # "misses" that the §6 policy proved (or capacity forced) to
+        # be free — the telemetry ratio feeds Table 3 analyses.
+        telemetry = current_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("cxl.placement_decisions",
+                                      placement=placement,
+                                      reason=reason).inc()
+
     config = config or LiaConfig()
     if not system.has_cxl:
+        count_decision("ddr", "no-cxl")
         return config
     decision = optimal_policy(spec, Stage.DECODE, request.batch_size,
                               request.input_len, system, config)
@@ -121,10 +142,13 @@ def adaptive_config(spec: ModelSpec, request: InferenceRequest,
         decision.policy.on_gpu(sub) for sub in Sublayer
         if sub.uses_parameters)
     if param_sublayers_on_gpu:
+        count_decision("cxl", "policy")
         return config.with_cxl_weights()
     try:
         check_host_capacity(
             host_memory_usage(spec, request, system, config), system)
     except CapacityError:
+        count_decision("cxl", "capacity")
         return config.with_cxl_weights()
+    count_decision("ddr", "policy")
     return config

@@ -16,17 +16,22 @@ correctness rests on:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
 from repro.core.policy import OffloadPolicy
 from repro.errors import ConfigurationError
 from repro.inference.kv_cache import KVCache, make_caches
-from repro.inference.tensors import DeviceTensor, TransferLog
+from repro.inference.tensors import (DeviceTensor, TransferLog,
+                                     TransferRecord)
 from repro.inference.transformer import TinyTransformer
 from repro.models.sublayers import Sublayer
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.runtime import current as current_telemetry
+from repro.telemetry.spans import TickClock
 
 
 @dataclass
@@ -59,7 +64,8 @@ class CooperativeEngine:
                  prefill_policy: OffloadPolicy,
                  decode_policy: OffloadPolicy,
                  weights_home: str = "cpu",
-                 resident_layers: Optional[List[int]] = None) -> None:
+                 resident_layers: Optional[List[int]] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.model = model
         self.prefill_policy = prefill_policy
         self.decode_policy = decode_policy
@@ -68,6 +74,49 @@ class CooperativeEngine:
         self.log = TransferLog()
         self.caches: List[KVCache] = make_caches(model.spec.n_layers)
         self._position = 0
+        self._telemetry = telemetry
+        self.log.subscribe(self._on_transfer)
+
+    # ------------------------------------------------------------------
+    # Telemetry: sublayer spans on the device tracks, transfer spans
+    # on the pcie track, byte counters mirroring the TransferLog.
+    # The engine has no latency model, so spans run on a logical
+    # TickClock — one tick per event — giving an ordered,
+    # Perfetto-loadable structure trace rather than a timing claim.
+    # ------------------------------------------------------------------
+    def _active_telemetry(self) -> Optional[Telemetry]:
+        return (self._telemetry if self._telemetry is not None
+                else current_telemetry())
+
+    def _on_transfer(self, record: TransferRecord) -> None:
+        telemetry = self._active_telemetry()
+        if telemetry is None:
+            return
+        telemetry.metrics.counter(
+            "pcie.bytes", source=record.source,
+            destination=record.destination).inc(record.num_bytes)
+        telemetry.metrics.counter(
+            "pcie.transfers", source=record.source,
+            destination=record.destination).inc()
+        tracer = telemetry.tracer
+        start = tracer.clock()
+        if isinstance(tracer.clock, TickClock):
+            tracer.clock.advance()
+        tracer.add_span(record.label, "pcie", start, tracer.clock(),
+                        bytes=record.num_bytes, source=record.source,
+                        destination=record.destination)
+
+    @contextmanager
+    def _span(self, name: str, track: str, **args: object) -> Iterator[None]:
+        """A tracer span that costs one tick of engine compute."""
+        telemetry = self._active_telemetry()
+        if telemetry is None:
+            yield
+            return
+        with telemetry.tracer.span(name, track=track, **args):
+            yield
+            if isinstance(telemetry.tracer.clock, TickClock):
+                telemetry.tracer.clock.advance()
 
     # ------------------------------------------------------------------
     def _charge_weights(self, layer: int, sublayer: Sublayer,
@@ -89,18 +138,20 @@ class CooperativeEngine:
 
         # Sublayer 1: QKV mapping (+ fused LN); emits KV to the cache.
         dev1 = _device_name(policy, Sublayer.QKV_MAPPING)
-        x1 = hidden.to(dev1, self.log, f"act:L{layer}:S1")
-        self._charge_weights(layer, Sublayer.QKV_MAPPING, dev1,
-                             2 * weights.w_qkv.size)
-        q_raw, k_raw, v_raw = model.qkv_mapping(x1.require_on(dev1), layer)
-        # During prefill the fresh K/V *are* the whole history: keep
-        # the device-local copies so a colocated consumer (or one on
-        # the cache's home) never re-crosses PCIe — matching the
-        # Eq. (7)/(9) accounting.
-        fresh_is_history = self.caches[layer].seq_len == 0
-        k_local = DeviceTensor(k_raw, dev1)
-        v_local = DeviceTensor(v_raw, dev1)
-        self.caches[layer].append(k_local, v_local, self.log, layer)
+        with self._span(f"L{layer}:S1:qkv", dev1, layer=layer):
+            x1 = hidden.to(dev1, self.log, f"act:L{layer}:S1")
+            self._charge_weights(layer, Sublayer.QKV_MAPPING, dev1,
+                                 2 * weights.w_qkv.size)
+            q_raw, k_raw, v_raw = model.qkv_mapping(x1.require_on(dev1),
+                                                    layer)
+            # During prefill the fresh K/V *are* the whole history:
+            # keep the device-local copies so a colocated consumer (or
+            # one on the cache's home) never re-crosses PCIe —
+            # matching the Eq. (7)/(9) accounting.
+            fresh_is_history = self.caches[layer].seq_len == 0
+            k_local = DeviceTensor(k_raw, dev1)
+            v_local = DeviceTensor(v_raw, dev1)
+            self.caches[layer].append(k_local, v_local, self.log, layer)
 
         def history(tensor_local, reader, device):
             if fresh_is_history and device == dev1:
@@ -109,53 +160,58 @@ class CooperativeEngine:
 
         # Sublayer 2: attention scores against the full KV history.
         dev2 = _device_name(policy, Sublayer.ATTENTION_SCORE)
-        q = DeviceTensor(q_raw, dev1).to(dev2, self.log,
-                                         f"act:L{layer}:S2")
-        k_hist = history(k_local, self.caches[layer].read_k, dev2)
-        scores = model.attention_scores(q.require_on(dev2),
-                                        k_hist.require_on(dev2),
-                                        causal=causal)
+        with self._span(f"L{layer}:S2:score", dev2, layer=layer):
+            q = DeviceTensor(q_raw, dev1).to(dev2, self.log,
+                                             f"act:L{layer}:S2")
+            k_hist = history(k_local, self.caches[layer].read_k, dev2)
+            scores = model.attention_scores(q.require_on(dev2),
+                                            k_hist.require_on(dev2),
+                                            causal=causal)
 
         # Sublayer 3: attention context.
         dev3 = _device_name(policy, Sublayer.ATTENTION_CONTEXT)
-        s = DeviceTensor(scores, dev2).to(dev3, self.log,
-                                          f"act:L{layer}:S3")
-        v_hist = history(v_local, self.caches[layer].read_v, dev3)
-        context = model.attention_context(s.require_on(dev3),
-                                          v_hist.require_on(dev3))
+        with self._span(f"L{layer}:S3:context", dev3, layer=layer):
+            s = DeviceTensor(scores, dev2).to(dev3, self.log,
+                                              f"act:L{layer}:S3")
+            v_hist = history(v_local, self.caches[layer].read_v, dev3)
+            context = model.attention_context(s.require_on(dev3),
+                                              v_hist.require_on(dev3))
 
         # Sublayer 4: output projection + residual from sublayer 1's
         # input (moves if placed elsewhere, Eq. (6)).
         dev4 = _device_name(policy, Sublayer.OUTPUT_PROJECTION)
-        ctx = DeviceTensor(context, dev3).to(dev4, self.log,
-                                             f"act:L{layer}:S4")
-        # The residual operand is sublayer 1's input *value*; reuse
-        # the copy already moved for sublayer 1 (Eq. 6 charges the
-        # p4 ^ p1 crossing only).
-        residual1 = x1.to(dev4, self.log, f"residual:L{layer}:S4")
-        self._charge_weights(layer, Sublayer.OUTPUT_PROJECTION, dev4,
-                             2 * weights.w_out.size)
-        attn_out_raw = model.output_projection(ctx.require_on(dev4),
-                                               residual1.require_on(dev4),
-                                               layer)
-        attn_out = DeviceTensor(attn_out_raw, dev4)
+        with self._span(f"L{layer}:S4:proj", dev4, layer=layer):
+            ctx = DeviceTensor(context, dev3).to(dev4, self.log,
+                                                 f"act:L{layer}:S4")
+            # The residual operand is sublayer 1's input *value*;
+            # reuse the copy already moved for sublayer 1 (Eq. 6
+            # charges the p4 ^ p1 crossing only).
+            residual1 = x1.to(dev4, self.log, f"residual:L{layer}:S4")
+            self._charge_weights(layer, Sublayer.OUTPUT_PROJECTION, dev4,
+                                 2 * weights.w_out.size)
+            attn_out_raw = model.output_projection(
+                ctx.require_on(dev4), residual1.require_on(dev4), layer)
+            attn_out = DeviceTensor(attn_out_raw, dev4)
 
         # Sublayer 5: FC1 (+ fused LN and GELU).
         dev5 = _device_name(policy, Sublayer.FC1)
-        x5 = attn_out.to(dev5, self.log, f"act:L{layer}:S5")
-        self._charge_weights(layer, Sublayer.FC1, dev5,
-                             2 * weights.w_fc1.size)
-        ffn_hidden_raw = model.fc1(x5.require_on(dev5), layer)
+        with self._span(f"L{layer}:S5:fc1", dev5, layer=layer):
+            x5 = attn_out.to(dev5, self.log, f"act:L{layer}:S5")
+            self._charge_weights(layer, Sublayer.FC1, dev5,
+                                 2 * weights.w_fc1.size)
+            ffn_hidden_raw = model.fc1(x5.require_on(dev5), layer)
 
         # Sublayer 6: FC2 + residual from sublayer 4's output.
         dev6 = _device_name(policy, Sublayer.FC2)
-        x6 = DeviceTensor(ffn_hidden_raw, dev5).to(dev6, self.log,
-                                                   f"act:L{layer}:S6")
-        residual4 = attn_out.to(dev6, self.log, f"residual:L{layer}:S6")
-        self._charge_weights(layer, Sublayer.FC2, dev6,
-                             2 * weights.w_fc2.size)
-        out_raw = model.fc2(x6.require_on(dev6),
-                            residual4.require_on(dev6), layer)
+        with self._span(f"L{layer}:S6:fc2", dev6, layer=layer):
+            x6 = DeviceTensor(ffn_hidden_raw, dev5).to(dev6, self.log,
+                                                       f"act:L{layer}:S6")
+            residual4 = attn_out.to(dev6, self.log,
+                                    f"residual:L{layer}:S6")
+            self._charge_weights(layer, Sublayer.FC2, dev6,
+                                 2 * weights.w_fc2.size)
+            out_raw = model.fc2(x6.require_on(dev6),
+                                residual4.require_on(dev6), layer)
         return DeviceTensor(out_raw, dev6)
 
     def _forward(self, tokens: np.ndarray, policy: OffloadPolicy,
@@ -185,15 +241,24 @@ class CooperativeEngine:
         if max_new_tokens < 1:
             raise ConfigurationError("max_new_tokens must be >= 1")
         self._position = 0
-        logits = self._forward(prompt, self.prefill_policy, causal=True)
+        with self._span("prefill", "engine",
+                        batch=int(prompt.shape[0]),
+                        input_len=int(prompt.shape[1])):
+            logits = self._forward(prompt, self.prefill_policy,
+                                   causal=True)
         next_token = logits[:, -1, :].argmax(axis=-1)
         generated = [next_token]
-        for __ in range(max_new_tokens - 1):
+        for step in range(max_new_tokens - 1):
             step_input = next_token[:, None]
-            logits = self._forward(step_input, self.decode_policy,
-                                   causal=True)
+            with self._span(f"decode[{step}]", "engine"):
+                logits = self._forward(step_input, self.decode_policy,
+                                       causal=True)
             next_token = logits[:, -1, :].argmax(axis=-1)
             generated.append(next_token)
         tokens = np.stack(generated, axis=1)
+        telemetry = self._active_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter("engine.generated_tokens").inc(
+                tokens.size)
         return GenerationResult(tokens=tokens, logits=logits,
                                 transfers=self.log)

@@ -10,7 +10,7 @@ transfer terms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -31,15 +31,27 @@ class TransferRecord:
 
 
 class TransferLog:
-    """Accumulates every cross-device copy the engine performs."""
+    """Accumulates every cross-device copy the engine performs.
+
+    Observers registered via :meth:`subscribe` see each record as it
+    is logged — the telemetry layer uses this to keep byte counters
+    exactly in sync with the log (no sampling, no double counting).
+    """
 
     def __init__(self) -> None:
         self._records: List[TransferRecord] = []
+        self._listeners: List[Callable[[TransferRecord], None]] = []
+
+    def subscribe(self, listener: Callable[[TransferRecord], None]) -> None:
+        """Call ``listener`` with every future :class:`TransferRecord`."""
+        self._listeners.append(listener)
 
     def record(self, label: str, source: str, destination: str,
                num_bytes: int) -> None:
-        self._records.append(TransferRecord(label, source, destination,
-                                            num_bytes))
+        entry = TransferRecord(label, source, destination, num_bytes)
+        self._records.append(entry)
+        for listener in self._listeners:
+            listener(entry)
 
     @property
     def records(self) -> List[TransferRecord]:

@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.estimator import LiaEstimator
 from repro.errors import ConfigurationError
 from repro.models.workload import InferenceRequest
+from repro.telemetry.bridge import (serving_report_to_metrics,
+                                    serving_report_to_spans)
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.runtime import current as current_telemetry
 
 
 @dataclass(frozen=True)
@@ -80,10 +84,22 @@ class ServingReport:
 
 
 class ServingSimulator:
-    """Single-server FIFO simulation driven by an estimator."""
+    """Single-server FIFO simulation driven by an estimator.
 
-    def __init__(self, estimator: LiaEstimator) -> None:
+    With a :class:`Telemetry` attached (explicitly or via
+    ``repro.telemetry.activate``), every run emits per-request
+    ``server``/``queue`` spans in sim-seconds and feeds the
+    ``serving.*`` queue-delay / service-time / latency histograms.
+    """
+
+    def __init__(self, estimator: LiaEstimator,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.estimator = estimator
+        self._telemetry = telemetry
+
+    def _active_telemetry(self) -> Optional[Telemetry]:
+        return (self._telemetry if self._telemetry is not None
+                else current_telemetry())
 
     def run(self, requests: Sequence[InferenceRequest],
             arrivals: Sequence[float]) -> ServingReport:
@@ -102,7 +118,18 @@ class ServingSimulator:
             served.append(ServedRequest(request=request, arrival=arrival,
                                         start=start, finish=finish))
             free_at = finish
-        return ServingReport(served)
+        report = ServingReport(served)
+        telemetry = self._active_telemetry()
+        if telemetry is not None:
+            serving_report_to_metrics(
+                report, telemetry.metrics,
+                system=self.estimator.system.name,
+                model=self.estimator.spec.name)
+            for span in serving_report_to_spans(report):
+                telemetry.tracer.add_span(span.name, span.track,
+                                          span.start, span.finish,
+                                          **span.args)
+        return report
 
     def run_poisson(self, requests: Sequence[InferenceRequest],
                     rate_per_s: float, seed: int = 0) -> ServingReport:

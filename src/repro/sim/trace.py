@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -30,6 +31,12 @@ class Timeline:
 
     def __init__(self, records: List[TaskRecord]) -> None:
         self._records = sorted(records, key=lambda r: (r.start, r.resource))
+        self._by_id: Dict[str, TaskRecord] = {}
+        for rec in self._records:
+            if rec.task_id in self._by_id:
+                raise SimulationError(
+                    f"duplicate task id in timeline: {rec.task_id}")
+            self._by_id[rec.task_id] = rec
 
     def __len__(self) -> int:
         return len(self._records)
@@ -49,10 +56,11 @@ class Timeline:
         return max(r.finish for r in self._records)
 
     def record(self, task_id: str) -> TaskRecord:
-        for rec in self._records:
-            if rec.task_id == task_id:
-                return rec
-        raise SimulationError(f"no record for task {task_id}")
+        try:
+            return self._by_id[task_id]
+        except KeyError:
+            raise SimulationError(
+                f"no record for task {task_id}") from None
 
     def busy_time(self, resource: str) -> float:
         """Total time the resource spent executing tasks."""
@@ -87,10 +95,21 @@ class Timeline:
         for resource, records in sorted(self.by_resource().items()):
             row = ["."] * width
             for rec in records:
-                lo = int(rec.start / makespan * (width - 1))
-                hi = int(rec.finish / makespan * (width - 1))
+                # Map [start, finish) onto the width columns; every
+                # task paints at least one column (sub-pixel tasks
+                # stay visible) and finish == makespan lands exactly
+                # on column width-1, never past it.
+                lo = min(int(rec.start / makespan * width), width - 1)
+                hi = min(int(math.ceil(rec.finish / makespan * width)),
+                         width)
                 for col in range(lo, max(hi, lo + 1)):
                     row[col] = "#"
             lines.append(f"{resource:>12} |{''.join(row)}|")
         lines.append(f"{'':>12}  makespan = {makespan * 1e3:.3f} ms")
         return "\n".join(lines)
+
+    def to_trace_events(self, time_scale: float = 1e6) -> List[dict]:
+        """Chrome trace events for this timeline (one lane per
+        resource); see :mod:`repro.telemetry.bridge`."""
+        from repro.telemetry.bridge import timeline_to_trace_events
+        return timeline_to_trace_events(self, time_scale=time_scale)

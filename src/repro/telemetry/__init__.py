@@ -1,0 +1,71 @@
+"""repro.telemetry — metrics, span tracing, and trace export.
+
+The unified observability layer (see docs/OBSERVABILITY.md):
+
+* :class:`MetricsRegistry` — labelled counters, gauges, and
+  streaming (bounded-memory) p50/p95/p99 histograms.
+* :class:`Tracer` — nested spans over *simulated* clocks; the
+  functional engine uses a logical :class:`TickClock`, the DES and
+  serving simulator stamp sim-seconds directly.
+* Exporters — Chrome trace-event JSON (Perfetto /
+  chrome://tracing) and JSON/CSV metric dumps.
+* Bridges — adapters from ``Timeline``, ``TransferLog``, and
+  ``ServingReport`` into the above.
+
+Typical use::
+
+    from repro.telemetry import Telemetry, activate, write_chrome_trace
+
+    telemetry = Telemetry()
+    with activate(telemetry):
+        ...  # run engine / simulator / estimator
+    write_chrome_trace("run.trace.json", telemetry.tracer.spans)
+"""
+
+from repro.telemetry.bridge import (
+    serving_report_to_metrics,
+    serving_report_to_spans,
+    timeline_to_spans,
+    timeline_to_trace_events,
+    transfer_log_to_counters,
+)
+from repro.telemetry.export import (
+    build_chrome_trace,
+    render_metrics,
+    spans_to_trace_events,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+)
+from repro.telemetry.runtime import Telemetry, activate, current
+from repro.telemetry.spans import Span, TickClock, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "Span",
+    "TickClock",
+    "Tracer",
+    "Telemetry",
+    "activate",
+    "current",
+    "build_chrome_trace",
+    "render_metrics",
+    "spans_to_trace_events",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "serving_report_to_metrics",
+    "serving_report_to_spans",
+    "timeline_to_spans",
+    "timeline_to_trace_events",
+    "transfer_log_to_counters",
+]

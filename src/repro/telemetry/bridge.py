@@ -1,0 +1,100 @@
+"""Bridges from pre-telemetry structures into the telemetry layer.
+
+The repro grew ad-hoc evidence containers before it had telemetry:
+``Timeline`` (DES gantt data), ``TransferLog`` (functional-engine
+PCIe accounting), ``ServingReport`` (queueing statistics).  These
+adapters round-trip each of them into spans/counters/histograms so
+one exporter path serves every subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.export import spans_to_trace_events
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span
+
+
+def timeline_to_spans(timeline) -> List[Span]:
+    """One span per :class:`TaskRecord`, tracked by resource."""
+    return [Span(name=record.label or record.task_id,
+                 track=record.resource, start=record.start,
+                 finish=record.finish,
+                 args={"task_id": record.task_id})
+            for record in timeline]
+
+
+def timeline_to_trace_events(timeline, time_scale: float = 1e6,
+                             track_ids: Optional[Dict[str, int]] = None
+                             ) -> List[dict]:
+    """Chrome trace events for a DES timeline (Fig. 7 in Perfetto)."""
+    return spans_to_trace_events(timeline_to_spans(timeline),
+                                 time_scale=time_scale,
+                                 track_ids=track_ids)
+
+
+def transfer_log_to_counters(log, metrics: MetricsRegistry) -> None:
+    """Reconcile a :class:`TransferLog` into byte counters.
+
+    Emits ``pcie.bytes{source,destination}`` per direction and
+    ``pcie.transfers`` per direction; the summed counter values equal
+    ``log.total_bytes`` exactly (the engine's acceptance invariant).
+    """
+    for record in log.records:
+        metrics.counter("pcie.bytes", source=record.source,
+                        destination=record.destination
+                        ).inc(record.num_bytes)
+        metrics.counter("pcie.transfers", source=record.source,
+                        destination=record.destination).inc()
+
+
+def serving_report_to_metrics(report, metrics: MetricsRegistry,
+                              system: str = "", model: str = "") -> None:
+    """Fold a :class:`ServingReport` into histograms and counters.
+
+    Histogram names follow ``serving.*``; the labels identify the
+    (model, system) pair so several runs can share one registry.
+    """
+    labels = {}
+    if system:
+        labels["system"] = system
+    if model:
+        labels["model"] = model
+    queue = metrics.histogram("serving.queue_delay_s", **labels)
+    service = metrics.histogram("serving.service_time_s", **labels)
+    latency = metrics.histogram("serving.latency_s", **labels)
+    requests = metrics.counter("serving.requests", **labels)
+    tokens = metrics.counter("serving.generated_tokens", **labels)
+    for served in report.served:
+        queue.observe(served.queue_delay)
+        service.observe(served.service_time)
+        latency.observe(served.latency)
+        requests.inc()
+        tokens.inc(served.request.total_generated_tokens)
+    metrics.gauge("serving.utilization", **labels).set(report.utilization)
+    metrics.gauge("serving.makespan_s", **labels).set(report.makespan)
+
+
+def serving_report_to_spans(report) -> List[Span]:
+    """Per-request service spans plus queue-wait spans.
+
+    Service intervals go on the ``server`` track (they are disjoint —
+    the FIFO serves one request at a time); the wait between arrival
+    and start goes on the ``queue`` track.
+    """
+    spans: List[Span] = []
+    for index, served in enumerate(report.served):
+        name = f"request[{index}]"
+        if served.queue_delay > 0.0:
+            spans.append(Span(name=name, track="queue",
+                              start=served.arrival, finish=served.start,
+                              args={"queue_delay_s": served.queue_delay}))
+        spans.append(Span(
+            name=name, track="server",
+            start=served.start, finish=served.finish,
+            args={"batch": served.request.batch_size,
+                  "input_len": served.request.input_len,
+                  "output_len": served.request.output_len,
+                  "latency_s": served.latency}))
+    return spans

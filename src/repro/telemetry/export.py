@@ -1,0 +1,154 @@
+"""Exporters: Chrome trace-event JSON, and JSON/CSV metric dumps.
+
+The trace format is the Trace Event Format's JSON-object flavour —
+``{"traceEvents": [...]}`` with complete ("X") duration events and
+thread-name ("M") metadata — which both Perfetto and chrome://tracing
+load directly.  Timestamps are microseconds; sim-time seconds are
+scaled by ``time_scale`` (default 1e6).
+
+Metric dumps follow the ``repro.experiments.export`` conventions: a
+leading comment line with the title, then one row per metric series
+with the union of keys as columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span
+
+#: pid used for every track; the repro is one logical process.
+TRACE_PID = 1
+
+
+def spans_to_trace_events(spans: Sequence[Span],
+                          time_scale: float = 1e6,
+                          track_ids: Optional[Dict[str, int]] = None
+                          ) -> List[dict]:
+    """Convert spans to Chrome complete events plus track metadata.
+
+    Tracks become "threads": each distinct track name gets a tid and
+    a ``thread_name`` metadata event, so Perfetto shows one swim lane
+    per device/resource.  ``track_ids`` lets callers merge several
+    span sources into one consistent tid space.
+    """
+    if time_scale <= 0.0:
+        raise ConfigurationError(
+            f"time_scale must be positive, got {time_scale}")
+    track_ids = {} if track_ids is None else track_ids
+    events: List[dict] = []
+    for span in spans:
+        if span.track not in track_ids:
+            tid = len(track_ids) + 1
+            track_ids[span.track] = tid
+            events.append({"ph": "M", "name": "thread_name",
+                           "pid": TRACE_PID, "tid": tid,
+                           "args": {"name": span.track}})
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.track,
+            "ts": span.start * time_scale,
+            "dur": span.duration * time_scale,
+            "pid": TRACE_PID,
+            "tid": track_ids[span.track],
+            "args": dict(span.args),
+        })
+    return events
+
+
+def build_chrome_trace(events: Iterable[dict],
+                       metadata: Optional[Dict[str, object]] = None
+                       ) -> dict:
+    """Assemble the top-level JSON-object trace document."""
+    return {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(path, spans: Sequence[Span] = (),
+                       extra_events: Iterable[dict] = (),
+                       metadata: Optional[Dict[str, object]] = None,
+                       time_scale: float = 1e6) -> Path:
+    """Write spans (plus pre-built events) as a ``.trace.json`` file."""
+    events = spans_to_trace_events(spans, time_scale=time_scale)
+    events.extend(extra_events)
+    if not events:
+        raise ConfigurationError("nothing to export: no trace events")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(build_chrome_trace(events, metadata), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Metric dumps.
+# ----------------------------------------------------------------------
+def _flat_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """Snapshot rows with labels flattened to a ``k=v,...`` column."""
+    rows = []
+    for row in registry.snapshot():
+        flat = dict(row)
+        labels = flat.pop("labels")
+        flat["labels"] = ",".join(f"{k}={v}"
+                                  for k, v in sorted(labels.items()))
+        rows.append(flat)
+    return rows
+
+
+def write_metrics_json(path, registry: MetricsRegistry,
+                       title: str = "telemetry metrics") -> Path:
+    """Dump the registry snapshot as a JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"title": title, "metrics": registry.snapshot()}
+    with path.open("w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def write_metrics_csv(path, registry: MetricsRegistry,
+                      title: str = "telemetry metrics") -> Path:
+    """Dump the registry snapshot as CSV (experiments.export style)."""
+    rows = _flat_rows(registry)
+    if not rows:
+        raise ConfigurationError("nothing to export: registry is empty")
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# {title}\n")
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Human-readable metric summary for CLI output."""
+    lines = []
+    for row in _flat_rows(registry):
+        labels = f"{{{row['labels']}}}" if row["labels"] else ""
+        if row["type"] == "histogram":
+            summary = (f"count={row['count']} mean={row['mean']:.6g}"
+                       + "".join(f" {k}={row[k]:.6g}"
+                                 for k in ("p50", "p95", "p99")
+                                 if k in row))
+        else:
+            summary = f"{row['value']:.6g}"
+        lines.append(f"  {row['metric']}{labels}: {summary}")
+    return "\n".join(lines) if lines else "  (no metrics recorded)"

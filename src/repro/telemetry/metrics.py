@@ -1,0 +1,214 @@
+"""Labelled counters, gauges, and streaming histograms.
+
+The registry is the numeric half of the telemetry layer: every
+instrumented subsystem (engine, serving simulator, CXL tiering,
+policy optimizer) reports into one :class:`MetricsRegistry`, and the
+exporters in :mod:`repro.telemetry.export` turn its snapshot into
+JSON/CSV rows.
+
+Histograms are *streaming*: they bucket observations geometrically
+(HdrHistogram-style) so p50/p95/p99 come out of O(buckets) memory
+instead of storing every sample — the property that lets the serving
+simulator track per-request latency for arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Sorted (key, value) pairs — the canonical hashable form of a label set.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value (bytes moved, policies tried)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ConfigurationError(
+                f"counter {self.name}: increment must be >= 0, "
+                f"got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (queue depth, resident layers)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class StreamingHistogram:
+    """Geometric-bucket histogram with bounded memory.
+
+    Positive observations land in bucket ``floor(log_base(value))``
+    with ``base = GROWTH ** 1`` (about 2.2% relative width), so any
+    quantile estimate is within one bucket — ~2% relative error —
+    of the exact order statistic.  Zero and negative values share a
+    dedicated bucket (sim timestamps start at 0.0).
+    """
+
+    #: Per-bucket growth factor: 32 buckets per octave.
+    GROWTH = 2.0 ** (1.0 / 32.0)
+
+    def __init__(self, name: str = "", labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._buckets: Dict[int, int] = {}
+        self._nonpositive = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value <= 0.0:
+            self._nonpositive += 1
+            return
+        index = math.floor(math.log(value) / math.log(self.GROWTH))
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Estimated value at ``fraction`` in [0, 1] of the ordering."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1], got {fraction}")
+        if self.count == 0:
+            raise ConfigurationError(
+                f"histogram {self.name or '<anonymous>'} is empty")
+        if fraction == 0.0:
+            return self.min
+        if fraction == 1.0:
+            return self.max
+        # Rank of the order statistic the fraction selects (1-based,
+        # floor, clamped) — the same convention as
+        # ServingReport.latency_percentile, so the streaming estimate
+        # cross-checks against the exact math on the same run.
+        rank = min(self.count, max(1, math.floor(fraction * self.count)))
+        seen = self._nonpositive
+        if rank <= seen:
+            return max(self.min, 0.0) if self.min is not None else 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                lower = self.GROWTH ** index
+                upper = self.GROWTH ** (index + 1)
+                mid = math.sqrt(lower * upper)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def percentiles(self, fractions=(0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """The standard latency summary, keyed ``p50``/``p95``/...."""
+        return {f"p{round(fraction * 100):d}": self.quantile(fraction)
+                for fraction in fractions}
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics.
+
+    ``registry.counter("pcie.bytes", source="cpu", destination="gpu")``
+    returns the same :class:`Counter` on every call with the same
+    name and labels; distinct label sets are distinct series.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey],
+                               StreamingHistogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter(name=name, labels=key[1])
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge(name=name, labels=key[1])
+        return self._gauges[key]
+
+    def histogram(self, name: str, **labels: str) -> StreamingHistogram:
+        key = (name, _label_key(labels))
+        if key not in self._histograms:
+            self._histograms[key] = StreamingHistogram(name=name,
+                                                       labels=key[1])
+        return self._histograms[key]
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def histograms(self) -> Iterator[StreamingHistogram]:
+        return iter(self._histograms.values())
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        """Current value, 0.0 if the series was never touched."""
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        return metric.value if metric else 0.0
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """All metrics as flat rows (the exporters' input format).
+
+        Each row carries ``metric``/``type``/``labels`` plus either a
+        ``value`` (counter, gauge) or the count/mean/min/max/pXX
+        summary (histogram).  Rows are sorted for deterministic output.
+        """
+        rows: List[Dict[str, object]] = []
+        for counter in self._counters.values():
+            rows.append({"metric": counter.name, "type": "counter",
+                         "labels": dict(counter.labels),
+                         "value": counter.value})
+        for gauge in self._gauges.values():
+            rows.append({"metric": gauge.name, "type": "gauge",
+                         "labels": dict(gauge.labels),
+                         "value": gauge.value})
+        for histogram in self._histograms.values():
+            row: Dict[str, object] = {
+                "metric": histogram.name, "type": "histogram",
+                "labels": dict(histogram.labels),
+                "count": histogram.count, "mean": histogram.mean,
+                "min": histogram.min or 0.0,
+                "max": histogram.max or 0.0,
+            }
+            if histogram.count:
+                row.update(histogram.percentiles())
+            rows.append(row)
+        rows.sort(key=lambda r: (str(r["metric"]), str(r["labels"])))
+        return rows

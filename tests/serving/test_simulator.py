@@ -61,6 +61,49 @@ def test_higher_rate_means_more_queueing(simulator):
     assert fast.utilization >= slow.utilization
 
 
+def test_percentile_empty_report_is_impossible():
+    # An empty report cannot exist, so percentiles never see one.
+    with pytest.raises(ConfigurationError, match="at least one"):
+        ServingReport([])
+
+
+def test_percentile_single_request(simulator):
+    report = simulator.run(_requests(1), [0.0])
+    only = report.served[0].latency
+    for fraction in (0.01, 0.5, 0.95, 1.0):
+        assert report.latency_percentile(fraction) == pytest.approx(only)
+
+
+def test_percentile_fraction_bounds(simulator):
+    report = simulator.run(_requests(3), [0.0] * 3)
+    with pytest.raises(ConfigurationError, match="fraction"):
+        report.latency_percentile(0.0)
+    with pytest.raises(ConfigurationError, match="fraction"):
+        report.latency_percentile(1.0001)
+    with pytest.raises(ConfigurationError, match="fraction"):
+        report.latency_percentile(-0.5)
+    # fraction 1.0 is inclusive: the slowest request.
+    assert report.latency_percentile(1.0) == pytest.approx(
+        max(r.latency for r in report.served))
+
+
+def test_percentiles_cross_check_telemetry_histogram(simulator):
+    # The streaming histogram the simulator feeds must agree with the
+    # report's exact order statistics on the same run.
+    from repro.telemetry import Telemetry, activate
+
+    telemetry = Telemetry()
+    with activate(telemetry):
+        report = simulator.run(_requests(9), [0.0] * 9)
+    histogram = telemetry.metrics.histogram(
+        "serving.latency_s", system=simulator.estimator.system.name,
+        model=simulator.estimator.spec.name)
+    assert histogram.count == len(report.served)
+    for fraction in (0.25, 0.5, 0.95, 0.99, 1.0):
+        assert histogram.quantile(fraction) == pytest.approx(
+            report.latency_percentile(fraction), rel=0.05)
+
+
 def test_input_validation(simulator):
     with pytest.raises(ConfigurationError, match="equal length"):
         simulator.run(_requests(2), [0.0])

@@ -60,3 +60,54 @@ def test_records_sorted_by_start():
         TaskRecord("early", "cpu", "early", 0.0, 1.0),
     ])
     assert [r.task_id for r in timeline.records] == ["early", "late"]
+
+
+def test_duplicate_task_ids_rejected():
+    with pytest.raises(SimulationError, match="duplicate"):
+        Timeline([
+            TaskRecord("a", "cpu", "a", 0.0, 1.0),
+            TaskRecord("a", "gpu", "a again", 1.0, 2.0),
+        ])
+
+
+def test_record_lookup_scales_constant_time():
+    # The task_id index is built once at construction; lookups do not
+    # walk the record list.
+    many = Timeline([TaskRecord(f"t{i}", "cpu", f"t{i}", float(i),
+                                float(i + 1)) for i in range(2000)])
+    assert many.record("t1999").start == 1999.0
+    assert many.record("t0").finish == 1.0
+
+
+def test_gantt_sub_pixel_task_still_renders():
+    # A task far shorter than one column must still paint one '#'.
+    timeline = Timeline([
+        TaskRecord("long", "cpu", "long", 0.0, 100.0),
+        TaskRecord("blip", "pcie", "blip", 50.0, 50.001),
+    ])
+    text = timeline.render_gantt(width=40)
+    pcie_row = next(line for line in text.splitlines()
+                    if "pcie" in line)
+    assert pcie_row.count("#") == 1
+
+
+def test_gantt_task_ending_at_makespan_fills_last_column():
+    timeline = Timeline([
+        TaskRecord("a", "cpu", "a", 0.0, 4.0),
+        TaskRecord("b", "cpu", "b", 4.0, 8.0),
+    ])
+    for width in (7, 8, 72):
+        row = next(line for line in
+                   timeline.render_gantt(width=width).splitlines()
+                   if "cpu" in line)
+        cells = row.split("|")[1]
+        assert len(cells) == width
+        assert cells[-1] == "#"  # finish == makespan reaches the edge
+        assert "." not in cells  # back-to-back tasks leave no hole
+
+
+def test_to_trace_events_round_trip():
+    events = _timeline().to_trace_events()
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["args"]["task_id"] for e in complete} == {"a", "b", "c"}
+    assert all(e["dur"] >= 0 for e in complete)

@@ -1,0 +1,108 @@
+"""Counters, gauges, and streaming histograms."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry, StreamingHistogram
+
+
+def test_counter_get_or_create_by_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("pcie.bytes", source="cpu", destination="gpu")
+    b = registry.counter("pcie.bytes", destination="gpu", source="cpu")
+    other = registry.counter("pcie.bytes", source="gpu",
+                             destination="cpu")
+    a.inc(10)
+    b.inc(5)
+    assert a is b
+    assert a is not other
+    assert registry.counter_value("pcie.bytes", source="cpu",
+                                  destination="gpu") == 15
+    assert registry.counter_value("pcie.bytes", source="gpu",
+                                  destination="cpu") == 0.0
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ConfigurationError):
+        MetricsRegistry().counter("x").inc(-1.0)
+
+
+def test_gauge_set_and_add():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(3.0)
+    gauge.add(-1.0)
+    assert gauge.value == 2.0
+
+
+def test_histogram_summary_stats():
+    histogram = StreamingHistogram("lat")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(2.5)
+    assert histogram.min == 1.0
+    assert histogram.max == 4.0
+    assert histogram.quantile(0.0) == 1.0
+    assert histogram.quantile(1.0) == 4.0
+
+
+def test_histogram_quantiles_track_exact_percentiles():
+    # Streaming buckets grow by ~2.2%, so any quantile must land
+    # within a few percent of the exact order statistic.
+    rng = random.Random(7)
+    samples = [rng.expovariate(1.0) + 0.01 for __ in range(5000)]
+    histogram = StreamingHistogram("lat")
+    for sample in samples:
+        histogram.observe(sample)
+    ordered = sorted(samples)
+    for fraction in (0.5, 0.9, 0.95, 0.99):
+        exact = ordered[min(len(ordered) - 1,
+                            int(fraction * len(ordered)))]
+        estimate = histogram.quantile(fraction)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+
+def test_histogram_bounded_memory():
+    histogram = StreamingHistogram("lat")
+    for index in range(100_000):
+        histogram.observe(0.001 + (index % 1000) * 0.01)
+    # 0.001..10 spans ~13 octaves at 32 buckets each — far fewer
+    # buckets than samples.
+    assert len(histogram._buckets) < 500
+    assert histogram.count == 100_000
+
+
+def test_histogram_nonpositive_and_empty():
+    histogram = StreamingHistogram("lat")
+    with pytest.raises(ConfigurationError):
+        histogram.quantile(0.5)
+    histogram.observe(0.0)
+    histogram.observe(5.0)
+    assert histogram.quantile(0.25) == 0.0
+    assert histogram.max == 5.0
+    with pytest.raises(ConfigurationError):
+        histogram.quantile(1.5)
+
+
+def test_histogram_single_sample():
+    histogram = StreamingHistogram("lat")
+    histogram.observe(0.25)
+    for fraction in (0.0, 0.5, 0.95, 1.0):
+        assert histogram.quantile(fraction) == pytest.approx(0.25)
+
+
+def test_snapshot_rows_are_deterministic_and_typed():
+    registry = MetricsRegistry()
+    registry.counter("b.counter", phase="decode").inc(2)
+    registry.gauge("a.gauge").set(1.5)
+    registry.histogram("c.hist").observe(0.5)
+    rows = registry.snapshot()
+    assert [row["metric"] for row in rows] == ["a.gauge", "b.counter",
+                                               "c.hist"]
+    by_name = {row["metric"]: row for row in rows}
+    assert by_name["b.counter"]["type"] == "counter"
+    assert by_name["b.counter"]["labels"] == {"phase": "decode"}
+    assert by_name["c.hist"]["count"] == 1
+    assert "p95" in by_name["c.hist"]

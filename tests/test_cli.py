@@ -76,3 +76,58 @@ def test_experiment_unknown_id(capsys):
 def test_unknown_model_is_clean_error(capsys):
     assert main(["plan", "--model", "gpt-9"]) == 1
     assert "unknown model" in capsys.readouterr().err
+
+
+def _load_trace_validator():
+    import importlib.util
+    from pathlib import Path
+
+    path = (Path(__file__).resolve().parents[1] / "scripts"
+            / "validate_trace.py")
+    spec = importlib.util.spec_from_file_location("validate_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_trace_engine_mode_writes_valid_trace(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "run.trace.json"
+    assert main(["trace", "--model", "opt-tiny", "--decode-policy",
+                 "011000", "--input-len", "4", "--output-len", "2",
+                 "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "PCIe bytes" in printed
+    assert "pcie.bytes" in printed
+    assert _load_trace_validator().validate_trace_file(out) == []
+    metrics_path = tmp_path / "run.metrics.json"
+    assert metrics_path.exists()
+    document = json.loads(metrics_path.read_text())
+    names = {row["metric"] for row in document["metrics"]}
+    assert "pcie.bytes" in names and "policy.evaluations" in names
+    trace = json.loads(out.read_text())
+    assert trace["otherData"]["pcie_bytes"] > 0
+
+
+def test_trace_serving_mode(capsys, tmp_path):
+    out = tmp_path / "serving.trace.json"
+    assert main(["trace", "--mode", "serving", "--model", "opt-30b",
+                 "--requests", "4", "--out", str(out)]) == 0
+    assert "served 4 requests" in capsys.readouterr().out
+    assert _load_trace_validator().validate_trace_file(out) == []
+
+
+def test_trace_schedule_mode(capsys, tmp_path):
+    out = tmp_path / "schedule.trace.json"
+    assert main(["trace", "--mode", "schedule", "--model", "opt-30b",
+                 "--batch", "64", "--input-len", "256",
+                 "--out", str(out)]) == 0
+    assert "makespan" in capsys.readouterr().out
+    assert _load_trace_validator().validate_trace_file(out) == []
+
+
+def test_trace_engine_rejects_large_models(capsys, tmp_path):
+    assert main(["trace", "--model", "opt-175b",
+                 "--out", str(tmp_path / "big.trace.json")]) == 1
+    assert "too large" in capsys.readouterr().err
