@@ -5,6 +5,7 @@ Commands:
 * ``models`` / ``systems`` — list the zoos.
 * ``plan`` — choose policies and estimate one request.
 * ``policy-map`` — print a Fig. 9-style policy grid.
+* ``sweep`` — estimate a (batch, L_in, L_out) grid in parallel.
 * ``trace`` — run a workload and write a Perfetto/Chrome trace plus
   a metrics summary (see docs/OBSERVABILITY.md).
 * ``experiment`` — run experiment drivers and print (or export) the
@@ -67,6 +68,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=[1, 16, 64, 256, 900])
     grid.add_argument("--lengths", type=int, nargs="+",
                       default=[32, 256, 1024, 2048])
+
+    sweep = commands.add_parser(
+        "sweep", help="estimate a (batch, input-len, output-len) grid "
+                      "in parallel")
+    sweep.add_argument("--model", default="opt-30b")
+    sweep.add_argument("--system", default="spr-a100")
+    sweep.add_argument("--batches", type=int, nargs="+",
+                       default=[1, 16, 64])
+    sweep.add_argument("--input-lens", type=int, nargs="+",
+                       default=[32, 256, 1024])
+    sweep.add_argument("--output-lens", type=int, nargs="+",
+                       default=[32])
+    sweep.add_argument("--decode-eval", choices=["exact", "fast"],
+                       default="fast",
+                       help="per-step decode loop vs closed-form "
+                            "summation (see docs/PERFORMANCE.md)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="sweep worker threads (default: cpu count, "
+                            "capped; env REPRO_SWEEP_WORKERS)")
+    sweep.add_argument("--json", default="",
+                       help="also write the rows as JSON here")
 
     trace = commands.add_parser(
         "trace", help="run a workload and write a Perfetto/Chrome "
@@ -173,6 +195,54 @@ def _cmd_policy_map(args: argparse.Namespace) -> int:
                                       system, config)
             cells.append(str(decision.policy))
         print(f"{batch:>6} " + "".join(f"{c:>22}" for c in cells))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.cache import cache_stats, clear_caches
+    from repro.experiments.runner import default_workers, run_sweep
+
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False,
+                       decode_eval=args.decode_eval)
+    estimator = LiaEstimator(spec, system, config)
+    clear_caches()
+    points = [InferenceRequest(batch, input_len, output_len)
+              for batch in args.batches
+              for input_len in args.input_lens
+              for output_len in args.output_lens]
+    workers = args.workers if args.workers else default_workers()
+    estimates = run_sweep(estimator.estimate, points, workers=workers)
+    print(f"{spec.name} on {system.name}: {len(points)} grid points, "
+          f"{workers} workers, decode_eval={args.decode_eval}")
+    print(f"{'B':>6} {'L_in':>6} {'L_out':>6} {'latency_s':>12} "
+          f"{'tokens_per_s':>14}  policy (prefill/decode)")
+    rows = []
+    for request, estimate in zip(points, estimates):
+        print(f"{request.batch_size:>6} {request.input_len:>6} "
+              f"{request.output_len:>6} {estimate.latency:>12.4f} "
+              f"{estimate.throughput:>14.2f}  "
+              f"{estimate.prefill_policy}/{estimate.decode_policy}")
+        rows.append({"batch_size": request.batch_size,
+                     "input_len": request.input_len,
+                     "output_len": request.output_len,
+                     "latency_s": estimate.latency,
+                     "tokens_per_s": estimate.throughput,
+                     "prefill_policy": str(estimate.prefill_policy),
+                     "decode_policy": str(estimate.decode_policy)})
+    for stats in cache_stats():
+        print(f"cache {stats['cache']}: {stats['size']} entries, "
+              f"{stats['hits']} hits / {stats['misses']} misses "
+              f"(hit rate {stats['hit_rate']:.1%})")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"model": spec.name, "system": system.name,
+                       "decode_eval": args.decode_eval, "rows": rows},
+                      handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -315,6 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_plan(args)
         if args.command == "policy-map":
             return _cmd_policy_map(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "calibrate":
             from repro.validation import calibration_ok, render_report
             print(render_report())

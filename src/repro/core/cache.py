@@ -1,0 +1,169 @@
+"""Memoization layer for the analytic hot path.
+
+Every capacity and latency number in the reproduction funnels through
+two pure functions: :func:`repro.core.latency.layer_latency` (Eq. (2))
+and :func:`repro.core.optimizer.optimal_policy` (Eq. (1), 64 candidate
+evaluations per call).  A single request estimate re-evaluates them
+thousands of times with identical arguments, and the Fig. 9/10/11
+sweeps and the serving simulator multiply that again — the same
+reuse-of-identical-computation opportunity LLMServingSim exploits.
+
+Both functions are deterministic in their inputs, so memoized results
+are bit-identical to uncached ones (a property test enforces this).
+The caches here are process-global, LRU-bounded, thread-safe (the
+sweep runner fans out over threads), and report hit/miss counters into
+the ambient :mod:`repro.telemetry` registry as
+``cache.hits{cache=...}`` / ``cache.misses{cache=...}``.
+
+Cache keys must be hashable.  Most config objects are frozen
+dataclasses and hash structurally, but :class:`SystemConfig` holds a
+``Dict`` of compute engines and is unhashable; :func:`cache_token`
+falls back to a pinned identity token for such objects (the zoo
+returns module-level singletons, so identity keying is both safe and
+exact — distinct-but-equal systems simply miss the cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Collection, Dict, List, Tuple
+
+from repro.telemetry.runtime import current as current_telemetry
+
+#: Objects that are not hashable are keyed by identity; the registry
+#: pins them so their ``id`` can never be reused by a new object.
+_TOKEN_LOCK = threading.Lock()
+_TOKENS: Dict[int, Tuple[int, Any]] = {}
+_NEXT_TOKEN = 0
+
+#: Sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
+
+
+def cache_token(obj: Any) -> Any:
+    """A hashable stand-in for ``obj`` usable inside cache keys.
+
+    Hashable objects are used directly (structural equality gives
+    cross-instance cache hits); unhashable ones get a process-unique
+    identity token and are pinned for the process lifetime.
+    """
+    try:
+        hash(obj)
+        return obj
+    except TypeError:
+        pass
+    global _NEXT_TOKEN
+    with _TOKEN_LOCK:
+        entry = _TOKENS.get(id(obj))
+        if entry is not None and entry[1] is obj:
+            return entry[0]
+        token = _NEXT_TOKEN
+        _NEXT_TOKEN += 1
+        _TOKENS[id(obj)] = (token, obj)
+        return token
+
+
+class LruCache:
+    """A named, bounded, thread-safe LRU map with telemetry counters."""
+
+    def __init__(self, name: str, maxsize: int = 65536) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, hit: bool) -> None:
+        telemetry = current_telemetry()
+        if telemetry is not None:
+            name = "cache.hits" if hit else "cache.misses"
+            telemetry.metrics.counter(name, cache=self.name).inc()
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, computing and storing on miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        hit = value is not _MISSING
+        if not hit:
+            # ``compute`` runs outside the lock: it may be expensive
+            # and may itself consult another cache.
+            value = compute()
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = value
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+        self._count(hit)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {"cache": self.name, "size": len(self._entries),
+                "hits": self.hits, "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0}
+
+
+#: Eq. (2) results: one decoder layer's latency decomposition.
+LAYER_LATENCY_CACHE = LruCache("layer_latency", maxsize=262144)
+#: Eq. (1) results: the winning policy for one (stage, B, L) point.
+OPTIMAL_POLICY_CACHE = LruCache("optimal_policy", maxsize=65536)
+
+_ALL_CACHES = (LAYER_LATENCY_CACHE, OPTIMAL_POLICY_CACHE)
+
+
+def clear_caches() -> None:
+    """Drop every analytic cache (tests and benchmarks start cold)."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+def cache_stats() -> List[Dict[str, float]]:
+    """Hit/miss/size rows for every analytic cache."""
+    return [cache.stats() for cache in _ALL_CACHES]
+
+
+def cached_layer_latency(spec, stage, policy, batch_size: int,
+                         context_len: int, system, config,
+                         weights_resident: bool = False,
+                         resident_sublayers: Collection = (),
+                         kv_resident: bool = False):
+    """Memoized :func:`repro.core.latency.layer_latency`.
+
+    Key: ``(spec, system, config, stage, policy, B, L,
+    weights_resident, resident_sublayers, kv_resident)``.  Honors
+    ``config.cache_enabled`` so ablations can measure the uncached
+    path.
+    """
+    from repro.core.latency import layer_latency
+
+    if not config.cache_enabled:
+        return layer_latency(spec, stage, policy, batch_size,
+                             context_len, system, config,
+                             weights_resident=weights_resident,
+                             resident_sublayers=resident_sublayers,
+                             kv_resident=kv_resident)
+    key = (cache_token(spec), cache_token(system), config, stage,
+           policy, batch_size, context_len, weights_resident,
+           frozenset(resident_sublayers), kv_resident)
+    return LAYER_LATENCY_CACHE.get_or_compute(
+        key,
+        lambda: layer_latency(spec, stage, policy, batch_size,
+                              context_len, system, config,
+                              weights_resident=weights_resident,
+                              resident_sublayers=resident_sublayers,
+                              kv_resident=kv_resident))

@@ -11,10 +11,15 @@ are produced.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.cache import (
+    OPTIMAL_POLICY_CACHE,
+    cache_token,
+    cached_layer_latency,
+)
 from repro.core.config import LiaConfig
-from repro.core.latency import LayerLatency, layer_latency
+from repro.core.latency import LayerLatency
 from repro.core.overlap import overlapped_layer_time, serial_layer_time
 from repro.core.policy import OffloadPolicy
 from repro.hardware.system import SystemConfig
@@ -62,43 +67,61 @@ def optimal_policy(spec: ModelSpec, stage: Stage, batch_size: int,
     else:
         candidates = list(OffloadPolicy.all_policies())
 
-    best = None
-    for policy in candidates:
-        layer = layer_latency(spec, stage, policy, batch_size,
-                              context_len, system, config,
-                              weights_resident=weights_resident)
-        # Eq. (1)/(2) scores the *serial* layer latency; overlap is an
-        # execution-time optimization, not part of the objective —
-        # that is what keeps Fig. 9's B=1 decode region full-CPU.
-        time = serial_layer_time(layer)
-        if best is None or time < best.layer_time:
-            best = PolicyDecision(stage=stage, policy=policy,
-                                  layer_time=time, layer=layer)
     telemetry = current_telemetry()
     if telemetry is not None:
-        # Fig. 9 sweep accounting: how many Eq. (1) searches ran and
-        # how many candidate policies each one scored.
+        # Fig. 9 sweep accounting: how many Eq. (1) searches were
+        # requested and how many candidate policies each one scores
+        # (logical counts — cache hits are tracked separately under
+        # ``cache.hits{cache=optimal_policy}``).
         telemetry.metrics.counter("policy.searches",
                                   stage=stage.value).inc()
         telemetry.metrics.counter("policy.evaluations",
                                   stage=stage.value).inc(len(candidates))
-    return best
+
+    def search() -> PolicyDecision:
+        best = None
+        for policy in candidates:
+            layer = cached_layer_latency(
+                spec, stage, policy, batch_size, context_len, system,
+                config, weights_resident=weights_resident)
+            # Eq. (1)/(2) scores the *serial* layer latency; overlap
+            # is an execution-time optimization, not part of the
+            # objective — that is what keeps Fig. 9's B=1 decode
+            # region full-CPU.
+            time = serial_layer_time(layer)
+            if best is None or time < best.layer_time:
+                best = PolicyDecision(stage=stage, policy=policy,
+                                      layer_time=time, layer=layer)
+        return best
+
+    if not config.cache_enabled:
+        return search()
+    key = (cache_token(spec), cache_token(system), config, stage,
+           batch_size, context_len, weights_resident)
+    return OPTIMAL_POLICY_CACHE.get_or_compute(key, search)
 
 
 def policy_map(spec: ModelSpec, stage: Stage, batch_sizes: Sequence[int],
                context_lens: Sequence[int], system: SystemConfig,
-               config: LiaConfig) -> Dict[Tuple[int, int], OffloadPolicy]:
+               config: LiaConfig,
+               workers: Optional[int] = None
+               ) -> Dict[Tuple[int, int], OffloadPolicy]:
     """Fig. 9: the optimal policy over a (B, L) grid.
 
-    Returns ``{(batch_size, context_len): policy}``.
+    Returns ``{(batch_size, context_len): policy}``.  Grid points are
+    independent Eq. (1) searches, so they fan out over the sweep
+    runner; the result is deterministic regardless of ``workers``.
     """
-    grid: Dict[Tuple[int, int], OffloadPolicy] = {}
-    for batch_size in batch_sizes:
-        for context_len in context_lens:
-            decision = optimal_policy(spec, stage, batch_size,
-                                      context_len, system, config)
-            grid[(batch_size, context_len)] = decision.policy
-    return grid
+    from repro.experiments.runner import run_sweep
+
+    points = [(batch_size, context_len) for batch_size in batch_sizes
+              for context_len in context_lens]
+    decisions = run_sweep(
+        lambda point: optimal_policy(spec, stage, point[0], point[1],
+                                     system, config),
+        points, workers=workers)
+    return {point: decision.policy
+            for point, decision in zip(points, decisions)}
 
 
 def decode_policy_threshold(spec: ModelSpec, system: SystemConfig,
@@ -134,17 +157,27 @@ def prefill_policy_transition(spec: ModelSpec, system: SystemConfig,
                               lo: int = 1, hi: int = 65536) -> int:
     """The B*L product where prefill flips away from full-CPU (§7.1
     reports BL ~ 850 for OPT-175B on SPR-A100).  Searches over L for a
-    fixed B."""
+    fixed B.
+
+    Every return path yields a consistent ``B * L`` product for an L
+    actually probed (the bounds floor to ``max(lo // B, 1)`` and
+    ``max(hi // B, 1)``), so for non-divisible batch sizes the result
+    is always a multiple of ``batch_size`` and never exceeds ``hi``
+    (unless ``hi < batch_size``, where ``B * 1`` is the smallest
+    representable product).
+    """
     def full_cpu(context_len: int) -> bool:
         decision = optimal_policy(spec, Stage.PREFILL, batch_size,
                                   context_len, system, config)
         return decision.policy.all_cpu
 
-    if not full_cpu(max(lo // batch_size, 1)):
-        return lo
-    if full_cpu(max(hi // batch_size, 1)):
-        return hi
-    low, high = max(lo // batch_size, 1), max(hi // batch_size, 1)
+    lo_len = max(lo // batch_size, 1)
+    hi_len = max(hi // batch_size, 1)
+    if not full_cpu(lo_len):
+        return lo_len * batch_size
+    if full_cpu(hi_len):
+        return hi_len * batch_size
+    low, high = lo_len, hi_len
     while high - low > 1:
         mid = (low + high) // 2
         if full_cpu(mid):

@@ -123,6 +123,14 @@ def build_request_graph(prefill_layers: List[LayerLatency],
     Decode steps chain off the previous stage's last compute, while
     their weight prefetches only contend for the PCIe resource — the
     Fig. 7 structure extended across stages.
+
+    Mini-batch chunk *m* consumes the fraction ``(m+1)/minibatches``
+    of the batch, so it chains to the predecessor chunk that finishes
+    producing that fraction.  In particular the single chunk of a
+    decode step (1 mini-batch) after a 2-mini-batch prefill depends on
+    prefill's *final* chunk — chaining it to chunk 0 (the old
+    ``m % len(chain_from)`` indexing) let decoding start before the
+    prefill pipeline drained.
     """
     if not prefill_layers:
         raise ConfigurationError("need at least one prefill layer")
@@ -141,7 +149,8 @@ def build_request_graph(prefill_layers: List[LayerLatency],
         for m in range(minibatches):
             deps = [weights_id]
             if chain_from:
-                deps.append(chain_from[m % len(chain_from)])
+                covered = -(-(m + 1) * len(chain_from) // minibatches)
+                deps.append(chain_from[max(covered - 1, 0)])
             xfer_id = f"{tag}.d{m}"
             graph.add(xfer_id, "pcie", dependent / minibatches,
                       deps=deps, label=f"dep xfer {tag} mb{m}")

@@ -10,10 +10,11 @@ FlexGen on SPR-A100; 2.1-2.5x / 1.1-1.5x vs IPEX and 4.9-7.0x /
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.experiments.frameworks import estimate_or_oom
 from repro.experiments.reporting import OOM, ExperimentResult
+from repro.experiments.runner import run_sweep
 from repro.hardware.system import get_system
 from repro.models.workload import InferenceRequest, paper_input_lengths
 from repro.models.zoo import get_model
@@ -32,28 +33,37 @@ DEFAULT_FRAMEWORKS = ("lia", "ipex", "flexgen")
 def run(pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
         frameworks: Sequence[str] = DEFAULT_FRAMEWORKS,
         output_lens: Sequence[int] = (32, 256)) -> ExperimentResult:
-    """Latency rows (s/query) for the full Fig. 10 grid."""
+    """Latency rows (s/query) for the full Fig. 10 grid.
+
+    Each (system, model, framework, request) cell is an independent
+    estimate, fanned out over the sweep runner in deterministic order.
+    """
     result = ExperimentResult(
         experiment_id="fig10",
         title="online inference latency (B=1)")
+    points = []
     for system_name, model in pairs:
         spec = get_model(model)
         system = get_system(system_name)
         for output_len in output_lens:
             for input_len in paper_input_lengths(spec, output_len):
                 request = InferenceRequest(1, input_len, output_len)
-                per_framework: Dict[str, object] = {}
                 for framework in frameworks:
-                    estimate = estimate_or_oom(framework, spec, system,
-                                               request)
-                    per_framework[framework] = (
-                        OOM if estimate == OOM else estimate.latency)
-                for framework, latency in per_framework.items():
-                    result.add_row(system=system_name, model=model,
-                                   framework=framework,
-                                   input_len=input_len,
-                                   output_len=output_len,
-                                   latency_s=latency)
+                    points.append((system_name, model, framework, spec,
+                                   system, request))
+
+    def estimate(point) -> object:
+        _, __, framework, spec, system, request = point
+        estimated = estimate_or_oom(framework, spec, system, request)
+        return OOM if estimated == OOM else estimated.latency
+
+    for point, latency in zip(points, run_sweep(estimate, points)):
+        system_name, model, framework, _, __, request = point
+        result.add_row(system=system_name, model=model,
+                       framework=framework,
+                       input_len=request.input_len,
+                       output_len=request.output_len,
+                       latency_s=latency)
     return result
 
 

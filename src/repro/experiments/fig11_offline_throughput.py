@@ -16,6 +16,7 @@ from typing import Sequence, Tuple
 from repro.experiments.fig10_online_latency import DEFAULT_PAIRS
 from repro.experiments.frameworks import estimate_or_oom
 from repro.experiments.reporting import OOM, ExperimentResult
+from repro.experiments.runner import run_sweep
 from repro.hardware.system import get_system
 from repro.models.workload import InferenceRequest, paper_input_lengths
 from repro.models.zoo import get_model
@@ -27,10 +28,15 @@ def run(pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
         frameworks: Sequence[str] = DEFAULT_FRAMEWORKS,
         batch_sizes: Sequence[int] = (64, 900),
         output_lens: Sequence[int] = (32, 256)) -> ExperimentResult:
-    """Throughput rows (tokens/s) for the full Fig. 11 grid."""
+    """Throughput rows (tokens/s) for the full Fig. 11 grid.
+
+    Grid cells are independent estimates; the sweep runner fans them
+    out and returns them in deterministic input order.
+    """
     result = ExperimentResult(
         experiment_id="fig11",
         title="offline inference throughput (B=64, 900)")
+    points = []
     for system_name, model in pairs:
         spec = get_model(model)
         system = get_system(system_name)
@@ -40,16 +46,22 @@ def run(pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
                     request = InferenceRequest(batch_size, input_len,
                                                output_len)
                     for framework in frameworks:
-                        estimate = estimate_or_oom(framework, spec,
-                                                   system, request)
-                        throughput = (OOM if estimate == OOM
-                                      else estimate.throughput)
-                        result.add_row(system=system_name, model=model,
-                                       framework=framework,
-                                       batch_size=batch_size,
-                                       input_len=input_len,
-                                       output_len=output_len,
-                                       tokens_per_s=throughput)
+                        points.append((system_name, model, framework,
+                                       spec, system, request))
+
+    def estimate(point) -> object:
+        _, __, framework, spec, system, request = point
+        estimated = estimate_or_oom(framework, spec, system, request)
+        return OOM if estimated == OOM else estimated.throughput
+
+    for point, throughput in zip(points, run_sweep(estimate, points)):
+        system_name, model, framework, _, __, request = point
+        result.add_row(system=system_name, model=model,
+                       framework=framework,
+                       batch_size=request.batch_size,
+                       input_len=request.input_len,
+                       output_len=request.output_len,
+                       tokens_per_s=throughput)
     return result
 
 

@@ -1,0 +1,90 @@
+"""Deterministic parallel sweep runner for experiment grids.
+
+Every figure-level experiment is a map over independent grid points
+(Eq. (1) searches for Fig. 9, request estimates for Figs. 10/11).
+:func:`run_sweep` fans those points out over a thread pool and returns
+results **in input order**, so a parallel sweep is bit-identical to a
+serial one — parallelism is purely a wall-clock optimization, exactly
+like the caches in :mod:`repro.core.cache` (which are thread-safe and
+shared across workers, so concurrent sweeps warm each other).
+
+Threads, not processes: the work closes over model/system/config
+objects that are not picklable-by-contract, and the analytic kernel
+spends most of its time in hash lookups once the caches are warm, so
+thread fan-out composes with memoization instead of fighting it.
+
+The ambient telemetry context (a ``ContextVar``) does not propagate
+into pool threads on its own; the runner captures the caller's
+telemetry and re-activates it inside each worker so ``policy.*`` and
+``cache.*`` counters keep flowing during parallel sweeps.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.telemetry.runtime import activate
+from repro.telemetry.runtime import current as current_telemetry
+
+PointT = TypeVar("PointT")
+ResultT = TypeVar("ResultT")
+
+#: Environment override for the default worker count (0 or 1 forces
+#: serial execution everywhere — useful when bisecting).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Fan-out beyond this buys nothing for the GIL-bound analytic kernel.
+_MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """Worker count: ``$REPRO_SWEEP_WORKERS`` or a capped cpu_count."""
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+        if value < 0:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be >= 0, got {value}")
+        return max(value, 1)
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+def run_sweep(fn: Callable[[PointT], ResultT],
+              points: Iterable[PointT], *,
+              workers: Optional[int] = None) -> List[ResultT]:
+    """Apply ``fn`` to every point, in order, possibly in parallel.
+
+    ``workers=None`` resolves via :func:`default_workers`; ``workers``
+    of 0 or 1 (or a single point) runs serially on the caller's
+    thread.  Results come back ordered like ``points``; the first
+    exception any point raises propagates to the caller.
+    """
+    items = list(points)
+    if workers is None:
+        workers = default_workers()
+    if workers < 0:
+        raise ConfigurationError(
+            f"workers must be >= 0, got {workers}")
+    workers = max(workers, 1)
+    if workers == 1 or len(items) <= 1:
+        return [fn(point) for point in items]
+
+    telemetry = current_telemetry()
+
+    def call(point: PointT) -> ResultT:
+        if telemetry is None:
+            return fn(point)
+        with activate(telemetry):
+            return fn(point)
+
+    with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(call, items))

@@ -9,9 +9,10 @@ planner actually needs from the paper's latency results.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.estimator import LiaEstimator
 from repro.errors import ConfigurationError
@@ -66,17 +67,24 @@ class ServingReport:
     @property
     def throughput_tokens_per_s(self) -> float:
         tokens = sum(r.request.total_generated_tokens for r in self.served)
-        return tokens / self.makespan
+        # Guarded like ``utilization``: a zero makespan (all-zero
+        # service times) reports zero throughput, not a crash.
+        return tokens / self.makespan if self.makespan else 0.0
 
     def latency_percentile(self, fraction: float) -> float:
-        """Latency at the given percentile, e.g. 0.5 or 0.95."""
+        """Latency at the given percentile, e.g. 0.5 or 0.95.
+
+        Standard nearest-rank: the ``ceil(fraction * n)``-th smallest
+        sample.  (The previous ``int(fraction * n) - 1`` indexing
+        under-reported tails — p95 of 10 samples returned the
+        9th-smallest instead of the 10th.)
+        """
         if not 0.0 < fraction <= 1.0:
             raise ConfigurationError(
                 f"fraction must be in (0, 1], got {fraction}")
         ordered = sorted(r.latency for r in self.served)
-        index = min(len(ordered) - 1,
-                    max(0, int(fraction * len(ordered)) - 1))
-        return ordered[index]
+        rank = min(len(ordered), max(1, math.ceil(fraction * len(ordered))))
+        return ordered[rank - 1]
 
     @property
     def mean_queue_delay(self) -> float:
@@ -111,15 +119,28 @@ class ServingSimulator:
             raise ConfigurationError("arrivals must be non-decreasing")
         served: List[ServedRequest] = []
         free_at = 0.0
+        telemetry = self._active_telemetry()
+        # Request-shape memoization: the estimator is pure in the
+        # request, so a Poisson workload of identical (B, L_in, L_out)
+        # shapes estimates once per distinct shape, not per arrival.
+        latency_by_shape: Dict[InferenceRequest, float] = {}
         for request, arrival in zip(requests, arrivals):
             start = max(arrival, free_at)
-            service = self.estimator.estimate(request).latency
+            service = latency_by_shape.get(request)
+            if service is None:
+                service = self.estimator.estimate(request).latency
+                latency_by_shape[request] = service
+                if telemetry is not None:
+                    telemetry.metrics.counter(
+                        "serving.estimates", result="computed").inc()
+            elif telemetry is not None:
+                telemetry.metrics.counter(
+                    "serving.estimates", result="memoized").inc()
             finish = start + service
             served.append(ServedRequest(request=request, arrival=arrival,
                                         start=start, finish=finish))
             free_at = finish
         report = ServingReport(served)
-        telemetry = self._active_telemetry()
         if telemetry is not None:
             serving_report_to_metrics(
                 report, telemetry.metrics,

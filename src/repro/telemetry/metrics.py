@@ -111,10 +111,10 @@ class StreamingHistogram:
         if fraction == 1.0:
             return self.max
         # Rank of the order statistic the fraction selects (1-based,
-        # floor, clamped) — the same convention as
+        # nearest-rank ceil, clamped) — the same convention as
         # ServingReport.latency_percentile, so the streaming estimate
         # cross-checks against the exact math on the same run.
-        rank = min(self.count, max(1, math.floor(fraction * self.count)))
+        rank = min(self.count, max(1, math.ceil(fraction * self.count)))
         seen = self._nonpositive
         if rank <= seen:
             return max(self.min, 0.0) if self.min is not None else 0.0

@@ -148,3 +148,42 @@ def test_grace_hopper_all_gpu(opt_175b, eval_config):
         decision = optimal_policy(opt_175b, stage, 64, 256, gh200,
                                   eval_config)
         assert decision.policy == FULL_GPU
+
+
+def test_prefill_transition_consistent_units_batch3(opt_175b, spr_a100,
+                                                    eval_config):
+    # Regression: with batch_size=3 the early-return paths used to mix
+    # context lengths with B*L products.  Every path must now return a
+    # multiple of batch_size that brackets the actual policy flip.
+    product = prefill_policy_transition(opt_175b, spr_a100, eval_config,
+                                        batch_size=3)
+    assert product % 3 == 0
+    assert product <= 65536
+    length = product // 3
+    decision_at = optimal_policy(opt_175b, Stage.PREFILL, 3, length,
+                                 spr_a100, eval_config)
+    decision_before = optimal_policy(opt_175b, Stage.PREFILL, 3,
+                                     length - 1, spr_a100, eval_config)
+    assert not decision_at.policy.all_cpu
+    assert decision_before.policy.all_cpu
+
+
+def test_prefill_transition_scales_with_batch(opt_175b, spr_a100,
+                                              eval_config):
+    # The flip happens near a constant B*L product (Fig. 9): the
+    # products reported for B=1 and B=3 agree to a few percent.  (The
+    # old unit-mixing bug made the B=3 result off by ~3x.)
+    b1 = prefill_policy_transition(opt_175b, spr_a100, eval_config,
+                                   batch_size=1)
+    b3 = prefill_policy_transition(opt_175b, spr_a100, eval_config,
+                                   batch_size=3)
+    assert abs(b1 - b3) / b1 < 0.05
+
+
+def test_prefill_transition_degenerate_bounds(opt_175b, spr_a100,
+                                              eval_config):
+    # hi < batch_size collapses both bounds to L=1; the result is the
+    # smallest representable product, not a unit-mixed value.
+    product = prefill_policy_transition(opt_175b, spr_a100, eval_config,
+                                        batch_size=900, lo=1, hi=512)
+    assert product == 900

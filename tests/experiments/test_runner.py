@@ -1,0 +1,118 @@
+"""Tests of the deterministic parallel sweep runner."""
+
+import threading
+
+import pytest
+
+from repro.core.config import LiaConfig
+from repro.core.optimizer import optimal_policy, policy_map
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    WORKERS_ENV,
+    default_workers,
+    run_sweep,
+)
+from repro.hardware.system import get_system
+from repro.models.sublayers import Stage
+from repro.models.zoo import get_model
+from repro.telemetry import Telemetry, activate
+
+
+class TestDefaultWorkers:
+    def test_positive(self):
+        assert default_workers() >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+
+    def test_env_zero_means_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert default_workers() == 1
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+    def test_env_rejects_negative(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+
+class TestRunSweep:
+    def test_preserves_input_order(self):
+        points = list(range(64))
+        assert run_sweep(lambda x: x * x, points, workers=4) == \
+            [x * x for x in points]
+
+    def test_serial_equals_parallel(self):
+        points = [(b, length) for b in (1, 8) for length in (32, 128)]
+
+        def fn(point):
+            return point[0] * 1000 + point[1]
+
+        assert run_sweep(fn, points, workers=1) == \
+            run_sweep(fn, points, workers=4)
+
+    def test_actually_fans_out(self):
+        threads = set()
+        barrier = threading.Barrier(4, timeout=10)
+
+        def fn(point):
+            threads.add(threading.get_ident())
+            barrier.wait()
+            return point
+
+        run_sweep(fn, list(range(4)), workers=4)
+        assert len(threads) == 4
+
+    def test_exceptions_propagate(self):
+        def fn(point):
+            if point == 2:
+                raise ValueError("boom")
+            return point
+
+        with pytest.raises(ValueError, match="boom"):
+            run_sweep(fn, [0, 1, 2, 3], workers=2)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(lambda x: x, [1, 2], workers=-1)
+
+    def test_empty_points(self):
+        assert run_sweep(lambda x: x, [], workers=4) == []
+
+    def test_telemetry_propagates_to_workers(self):
+        telemetry = Telemetry()
+
+        def fn(point):
+            from repro.telemetry.runtime import current
+            active = current()
+            if active is not None:
+                active.metrics.counter("sweep.test").inc()
+            return point
+
+        with activate(telemetry):
+            run_sweep(fn, list(range(8)), workers=4)
+        assert telemetry.metrics.counter_value("sweep.test") == 8
+
+
+class TestParallelPolicyMap:
+    def test_parallel_matches_serial(self):
+        spec = get_model("opt-30b")
+        system = get_system("spr-a100")
+        config = LiaConfig(enforce_host_capacity=False)
+        batches = (1, 16)
+        lengths = (32, 256)
+        serial = policy_map(spec, Stage.DECODE, batches, lengths,
+                            system, config, workers=1)
+        parallel = policy_map(spec, Stage.DECODE, batches, lengths,
+                              system, config, workers=4)
+        assert serial == parallel
+        expected = {
+            (b, length): optimal_policy(spec, Stage.DECODE, b, length,
+                                        system, config).policy
+            for b in batches for length in lengths}
+        assert parallel == expected

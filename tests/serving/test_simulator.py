@@ -113,3 +113,78 @@ def test_input_validation(simulator):
         simulator.run_poisson(_requests(1), rate_per_s=0.0)
     with pytest.raises(ConfigurationError):
         ServingReport([])
+
+
+def _report_with_latencies(latencies):
+    # Back-to-back zero-queue requests with the given service times.
+    from repro.serving.simulator import ServedRequest
+
+    served = []
+    clock = 0.0
+    for latency in latencies:
+        served.append(ServedRequest(
+            request=InferenceRequest(1, 8, latency and 1 or 1),
+            arrival=clock, start=clock, finish=clock + latency))
+        clock += latency
+    return ServingReport(served)
+
+
+def test_percentile_nearest_rank_regression():
+    # Regression: int(fraction * n) - 1 indexing under-reported tails.
+    # With 10 known latencies, nearest-rank p95 = ceil(9.5) = 10th
+    # smallest, p50 = 5th smallest, p90 = 9th, p10 = 1st.
+    report = _report_with_latencies([float(i) for i in range(1, 11)])
+    assert report.latency_percentile(0.95) == 10.0
+    assert report.latency_percentile(0.90) == 9.0
+    assert report.latency_percentile(0.50) == 5.0
+    assert report.latency_percentile(0.10) == 1.0
+    assert report.latency_percentile(1.0) == 10.0
+
+
+def test_percentile_matches_histogram_convention():
+    # The exact report and the streaming histogram use the same
+    # nearest-rank ceil rule, so on well-separated samples they pick
+    # the same order statistic (the histogram within bucket error).
+    from repro.telemetry.metrics import StreamingHistogram
+
+    latencies = [2.0 ** i for i in range(8)]
+    report = _report_with_latencies(latencies)
+    histogram = StreamingHistogram("t")
+    for latency in latencies:
+        histogram.observe(latency)
+    for fraction in (0.2, 0.5, 0.75, 0.95):
+        assert histogram.quantile(fraction) == pytest.approx(
+            report.latency_percentile(fraction), rel=0.05)
+
+
+def test_zero_makespan_throughput_regression():
+    # Regression: an all-zero-service-time run divided by zero.
+    report = _report_with_latencies([0.0, 0.0, 0.0])
+    assert report.makespan == 0.0
+    assert report.throughput_tokens_per_s == 0.0
+    assert report.utilization == 0.0
+
+
+def test_request_shape_memoization(simulator):
+    # Identical request shapes estimate once; distinct shapes do not
+    # share entries.  Latencies are unchanged by memoization.
+    from repro.telemetry import Telemetry, activate
+
+    shapes = [InferenceRequest(1, 128, 16), InferenceRequest(1, 128, 16),
+              InferenceRequest(1, 64, 16), InferenceRequest(1, 128, 16)]
+    telemetry = Telemetry()
+    with activate(telemetry):
+        report = simulator.run(shapes, [0.0] * len(shapes))
+    assert telemetry.metrics.counter_value(
+        "serving.estimates", result="computed") == 2
+    assert telemetry.metrics.counter_value(
+        "serving.estimates", result="memoized") == 2
+    # service_time is finish - start, so equal memoized services can
+    # differ by an ulp after the add/subtract round trip.
+    served = report.served
+    assert served[0].service_time == pytest.approx(
+        served[1].service_time, rel=1e-12)
+    assert served[1].service_time == pytest.approx(
+        served[3].service_time, rel=1e-12)
+    assert served[2].service_time != pytest.approx(
+        served[0].service_time, rel=1e-6)

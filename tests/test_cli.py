@@ -131,3 +131,33 @@ def test_trace_engine_rejects_large_models(capsys, tmp_path):
     assert main(["trace", "--model", "opt-175b",
                  "--out", str(tmp_path / "big.trace.json")]) == 1
     assert "too large" in capsys.readouterr().err
+
+
+def test_sweep(capsys, tmp_path):
+    out_json = tmp_path / "sweep.json"
+    assert main(["sweep", "--model", "opt-30b", "--system", "spr-a100",
+                 "--batches", "1", "16", "--input-lens", "32",
+                 "--output-lens", "8", "--workers", "2",
+                 "--json", str(out_json)]) == 0
+    out = capsys.readouterr().out
+    assert "2 grid points" in out  # 2 batches x 1 len x 1 len
+    assert "opt-30b on spr-a100" in out
+    assert "cache layer_latency" in out
+    import json
+
+    payload = json.loads(out_json.read_text())
+    assert payload["model"] == "opt-30b"
+    assert len(payload["rows"]) == 2
+    assert all(row["latency_s"] > 0 for row in payload["rows"])
+
+
+def test_sweep_exact_matches_fast(capsys):
+    assert main(["sweep", "--batches", "1", "--input-lens", "64",
+                 "--output-lens", "8", "--decode-eval", "exact"]) == 0
+    exact_out = capsys.readouterr().out
+    assert main(["sweep", "--batches", "1", "--input-lens", "64",
+                 "--output-lens", "8", "--decode-eval", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+    exact_row = [l for l in exact_out.splitlines() if l.lstrip().startswith("1 ")]
+    fast_row = [l for l in fast_out.splitlines() if l.lstrip().startswith("1 ")]
+    assert exact_row == fast_row
