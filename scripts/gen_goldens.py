@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Generate (or check) the golden-value regression snapshots.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_goldens.py            # regenerate
+    PYTHONPATH=src python scripts/gen_goldens.py --check    # compare
+
+``--check`` recomputes every case and diffs it against the committed
+``tests/goldens/*.json`` without writing anything; it exits non-zero
+on any drift, printing the first mismatches per case.  Regenerate
+deliberately — a golden update is a reviewed statement that the
+operating points were *supposed* to move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments.goldens import (GOLDEN_CASES, compare_payloads,
+                                       golden_dir, golden_path,
+                                       load_golden)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="compare against committed goldens "
+                             "instead of rewriting them")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="restrict to these case names")
+    args = parser.parse_args(argv)
+
+    names = args.only if args.only else sorted(GOLDEN_CASES)
+    unknown = [n for n in names if n not in GOLDEN_CASES]
+    if unknown:
+        print(f"unknown golden cases: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    os.makedirs(golden_dir(), exist_ok=True)
+    failures = 0
+    for name in names:
+        payload = GOLDEN_CASES[name]()
+        path = golden_path(name)
+        if args.check:
+            try:
+                golden = load_golden(name)
+            except FileNotFoundError:
+                print(f"{name}: MISSING ({path})")
+                failures += 1
+                continue
+            problems = compare_payloads(golden, payload)
+            if problems:
+                failures += 1
+                print(f"{name}: {len(problems)} mismatches")
+                for problem in problems[:10]:
+                    print(f"  {problem}")
+                if len(problems) > 10:
+                    print(f"  ... and {len(problems) - 10} more")
+            else:
+                print(f"{name}: OK ({len(payload['rows'])} rows)")
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {path} ({len(payload['rows'])} rows)")
+    if args.check and failures:
+        print(f"{failures} golden case(s) drifted "
+              "(regenerate deliberately with scripts/gen_goldens.py)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Commands:
 * ``sweep`` — estimate a (batch, L_in, L_out) grid in parallel.
 * ``trace`` — run a workload and write a Perfetto/Chrome trace plus
   a metrics summary (see docs/OBSERVABILITY.md).
+* ``faults`` — run a degraded-serving simulation under a seeded
+  fault scenario (see docs/ROBUSTNESS.md).
 * ``experiment`` — run experiment drivers and print (or export) the
   tables.
 """
@@ -119,6 +121,35 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", default="repro.trace.json",
                        help="trace path; the metrics summary lands "
                             "next to it as <name>.metrics.json")
+
+    faults = commands.add_parser(
+        "faults", help="run a serving simulation under a fault "
+                       "scenario (degraded GPU/PCIe/CXL/CPU, see "
+                       "docs/ROBUSTNESS.md)")
+    faults.add_argument("--scenario", default="",
+                        help="path to a scenario spec (JSON; YAML when "
+                             "pyyaml is installed)")
+    faults.add_argument("--preset", default="",
+                        help="built-in scenario name (see "
+                             "--list-presets)")
+    faults.add_argument("--list-presets", action="store_true",
+                        help="list built-in scenarios and exit")
+    faults.add_argument("--model", default="opt-30b")
+    faults.add_argument("--system", default="spr-a100")
+    faults.add_argument("--requests", type=int, default=16)
+    faults.add_argument("--rate", type=float, default=0.05,
+                        help="Poisson arrival rate (requests/s)")
+    faults.add_argument("--batch", type=int, default=8)
+    faults.add_argument("--input-len", type=int, default=512)
+    faults.add_argument("--output-len", type=int, default=64)
+    faults.add_argument("--seed", type=int, default=0,
+                        help="arrival-process seed (fault draws use "
+                             "the scenario's own seed)")
+    faults.add_argument("--out", default="",
+                        help="write a Perfetto/Chrome trace here "
+                             "(metrics summary lands next to it)")
+    faults.add_argument("--json", default="",
+                        help="write the machine-readable report here")
 
     experiment = commands.add_parser(
         "experiment", help="run experiment drivers (paper tables and "
@@ -350,6 +381,113 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import builtin_scenarios, get_scenario, load_scenario
+    from repro.serving.simulator import ServingSimulator
+    from repro.telemetry import (Telemetry, activate, write_chrome_trace,
+                                 write_metrics_json)
+
+    if args.list_presets:
+        for name, scenario in sorted(builtin_scenarios().items()):
+            kinds = ", ".join(sorted({e.kind.value
+                                      for e in scenario.events}))
+            extras = []
+            if scenario.admission.enabled:
+                extras.append(f"admission depth "
+                              f"{scenario.admission.max_queue_depth}")
+            print(f"{name:>16}: {kinds or 'no fault windows'}"
+                  + (f" ({'; '.join(extras)})" if extras else ""))
+        return 0
+    if args.scenario and args.preset:
+        raise ConfigurationError(
+            "--scenario and --preset are mutually exclusive")
+    scenario = None
+    if args.scenario:
+        scenario = load_scenario(args.scenario)
+    elif args.preset:
+        scenario = get_scenario(args.preset)
+
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False)
+    telemetry = Telemetry() if args.out else None
+    simulator = ServingSimulator(LiaEstimator(spec, system, config),
+                                 telemetry=telemetry)
+    requests = [InferenceRequest(args.batch, args.input_len,
+                                 args.output_len)
+                for __ in range(args.requests)]
+    if telemetry is not None:
+        with activate(telemetry):
+            report = simulator.run_poisson(requests, rate_per_s=args.rate,
+                                           seed=args.seed,
+                                           scenario=scenario)
+    else:
+        report = simulator.run_poisson(requests, rate_per_s=args.rate,
+                                       seed=args.seed, scenario=scenario)
+
+    name = scenario.name if scenario is not None else "(fault-free)"
+    print(f"{spec.name} on {system.name}, scenario {name}: "
+          f"{len(report.served)}/{args.requests} served")
+    if report.served:
+        print(f"  p50 latency  : {report.latency_percentile(0.50):.3f} s")
+        print(f"  p95 latency  : {report.latency_percentile(0.95):.3f} s")
+        print(f"  p99 latency  : {report.latency_percentile(0.99):.3f} s")
+        print(f"  makespan     : {report.makespan:.3f} s "
+              f"(utilization {report.utilization:.1%})")
+    dropped = getattr(report, "dropped", [])
+    stats = getattr(report, "stats", None)
+    if stats is not None:
+        print(f"  dropped      : {len(dropped)} "
+              f"({report.drop_rate:.1%} of offered)")
+        print(f"  fault events : {stats.total_faults} total")
+        for key, value in stats.as_dict().items():
+            if value:
+                print(f"    {key:<18}: {value:g}")
+
+    if args.out:
+        metadata = {"mode": "faults", "model": spec.name,
+                    "system": system.name, "scenario": name,
+                    "served": len(report.served),
+                    "dropped": len(dropped)}
+        trace_path = write_chrome_trace(args.out,
+                                        telemetry.tracer.spans,
+                                        metadata=metadata)
+        metrics_path = write_metrics_json(
+            _trace_metrics_path(args.out), telemetry.metrics,
+            title=f"fault scenario {name} of {spec.name} "
+                  f"on {system.name}")
+        print(f"wrote {trace_path}")
+        print(f"wrote {metrics_path}")
+    if args.json:
+        import json
+
+        from repro.faults import scenario_to_dict
+
+        payload = {
+            "model": spec.name, "system": system.name,
+            "scenario": (scenario_to_dict(scenario)
+                         if scenario is not None else None),
+            "arrival_seed": args.seed, "rate_per_s": args.rate,
+            "served": [{"batch_size": r.request.batch_size,
+                        "input_len": r.request.input_len,
+                        "output_len": r.request.output_len,
+                        "arrival": r.arrival, "start": r.start,
+                        "finish": r.finish}
+                       for r in report.served],
+            "dropped": [{"arrival": d.arrival, "reason": d.reason}
+                        for d in dropped],
+            "percentiles": ({"p50": report.latency_percentile(0.50),
+                             "p95": report.latency_percentile(0.95),
+                             "p99": report.latency_percentile(0.99)}
+                            if report.served else None),
+            "fault_stats": stats.as_dict() if stats is not None else None,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import default_drivers, to_csv
 
@@ -393,6 +531,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0 if calibration_ok() else 1
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as error:

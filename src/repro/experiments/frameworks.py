@@ -12,7 +12,7 @@ from repro.baselines import (
     TensorParallelEstimator,
 )
 from repro.core.config import LiaConfig
-from repro.core.estimator import InferenceEstimate, LiaEstimator
+from repro.core.estimator import LiaEstimator
 from repro.errors import CapacityError, ConfigurationError
 from repro.experiments.reporting import OOM
 from repro.hardware.system import SystemConfig

@@ -1,0 +1,127 @@
+"""Golden-value cases: pinned operating points for regression CI.
+
+Each case recomputes a slice of a paper figure — the Fig. 5
+microbenchmark rooflines, the Fig. 9 policy map and its transition
+thresholds, and the Fig. 10/11 latency/throughput grids — as plain
+JSON-able rows.  ``scripts/gen_goldens.py`` snapshots them into
+``tests/goldens/*.json``; ``tests/test_goldens.py`` recomputes and
+compares against the snapshot with tight tolerances, so an estimator
+change that silently moves an operating point fails CI instead of
+shipping.
+
+Everything here is closed-form arithmetic over frozen zoo specs, so
+the values are deterministic; the tolerance in the comparison only
+absorbs cross-platform libm noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List
+
+from repro.experiments import (fig05_microbench, fig09_policy_map,
+                               fig10_online_latency,
+                               fig11_offline_throughput)
+from repro.experiments.reporting import ExperimentResult
+
+#: Relative tolerance for numeric comparisons.  The math is pure
+#: Python IEEE-754 in a fixed order, so this only needs to absorb
+#: platform libm differences (exp/log in the roofline curves).
+REL_TOL = 1e-9
+
+#: Reduced Fig. 9 grid: spans both sides of every transition the
+#: paper discusses while keeping the snapshot under ~2 s to recompute.
+FIG09_BATCHES = (1, 64, 256, 900)
+FIG09_LENGTHS = (32, 512, 2048)
+
+
+def _as_payload(result: ExperimentResult) -> Dict[str, object]:
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": result.rows,
+    }
+
+
+def _fig05() -> Dict[str, object]:
+    return _as_payload(fig05_microbench.run())
+
+
+def _fig09() -> Dict[str, object]:
+    return _as_payload(fig09_policy_map.run(
+        batch_sizes=FIG09_BATCHES, input_lens=FIG09_LENGTHS))
+
+
+def _fig10() -> Dict[str, object]:
+    return _as_payload(fig10_online_latency.run())
+
+
+def _fig11() -> Dict[str, object]:
+    return _as_payload(fig11_offline_throughput.run())
+
+
+#: name -> recompute function; the name is the golden file's stem.
+GOLDEN_CASES: Dict[str, Callable[[], Dict[str, object]]] = {
+    "fig05_microbench": _fig05,
+    "fig09_policy_map": _fig09,
+    "fig10_online_latency": _fig10,
+    "fig11_offline_throughput": _fig11,
+}
+
+
+def golden_dir() -> str:
+    """``tests/goldens`` relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "goldens")
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(golden_dir(), f"{name}.json")
+
+
+def load_golden(name: str) -> Dict[str, object]:
+    with open(golden_path(name), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_payloads(expected: Dict[str, object],
+                     actual: Dict[str, object],
+                     rel_tol: float = REL_TOL) -> List[str]:
+    """All mismatches between a golden payload and a recomputation.
+
+    Numbers compare with relative tolerance (ints exactly); strings —
+    policy vectors, OOM markers — compare exactly.  Row count or key
+    drift is itself a failure: a changed grid is a changed contract.
+    """
+    problems: List[str] = []
+    expected_rows = expected.get("rows", [])
+    actual_rows = actual.get("rows", [])
+    if len(expected_rows) != len(actual_rows):
+        return [f"row count changed: golden {len(expected_rows)}, "
+                f"recomputed {len(actual_rows)}"]
+    for index, (want, got) in enumerate(zip(expected_rows, actual_rows)):
+        if set(want) != set(got):
+            problems.append(f"row {index}: columns changed "
+                            f"{sorted(want)} -> {sorted(got)}")
+            continue
+        for key, want_value in want.items():
+            got_value = got[key]
+            if _matches(want_value, got_value, rel_tol):
+                continue
+            problems.append(f"row {index} [{key}]: golden "
+                            f"{want_value!r} != recomputed "
+                            f"{got_value!r}")
+    return problems
+
+
+def _matches(want: object, got: object, rel_tol: float) -> bool:
+    if isinstance(want, bool) or isinstance(got, bool):
+        return want == got
+    if isinstance(want, (int, float)) and isinstance(got, (int, float)):
+        if isinstance(want, int) and isinstance(got, int):
+            return want == got
+        scale = max(abs(float(want)), abs(float(got)), 1e-300)
+        return abs(float(want) - float(got)) <= rel_tol * scale
+    return want == got

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the serving and engine layers.
+
+Everything here is seeded and replayable: a :class:`FaultScenario`
+(hand-written dict/JSON/YAML or a named preset) describes *what goes
+wrong and when* — GPU HBM pressure, PCIe link downshift or transient
+stalls, CXL bandwidth contention, CPU core preemption — and the
+:class:`FaultInjector` turns it into degraded
+:class:`~repro.hardware.system.SystemConfig` copies and per-chunk
+stall draws.  The serving loop's reaction (admission control,
+retry/backoff, policy re-solve, batch shrink) lives in
+:mod:`repro.serving.degradation`; the functional engine's
+transfer-retry accounting in :mod:`repro.faults.engine`.
+"""
+
+from repro.faults.engine import TransferFaultModel
+from repro.faults.injector import (FaultInjector, apply_faults,
+                                   make_injector)
+from repro.faults.scenarios import builtin_scenarios, get_scenario
+from repro.faults.spec import (PERFORMANCE_KINDS, AdmissionPolicy,
+                               FaultEvent, FaultKind, FaultScenario,
+                               RetryPolicy, event_from_dict,
+                               load_scenario, scenario_from_dict,
+                               scenario_to_dict)
+
+__all__ = [
+    "AdmissionPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultScenario",
+    "PERFORMANCE_KINDS",
+    "RetryPolicy",
+    "TransferFaultModel",
+    "apply_faults",
+    "builtin_scenarios",
+    "event_from_dict",
+    "get_scenario",
+    "load_scenario",
+    "make_injector",
+    "scenario_from_dict",
+    "scenario_to_dict",
+]

@@ -1,0 +1,98 @@
+"""Transfer-fault accounting for the functional cooperative engine.
+
+The :class:`~repro.inference.engine.CooperativeEngine` computes real
+tokens but has no latency model, so fault injection there is pure
+*accounting*: each PCIe transfer the engine logs may stall (a
+deterministic draw from the scenario seed and the transfer's order),
+in which case the model records the retry/backoff schedule into
+telemetry — counters on ``faults.engine.*`` and retry spans on the
+``faults`` track of the engine's tick-clock trace.  Generated tokens
+and the transfer log itself are never touched, preserving the
+engine's policy-invariance property; a zero-probability model makes
+no draws and emits nothing, so an idle fault layer is bit-identical
+to no fault layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.spec import FaultKind, FaultScenario
+from repro.telemetry.runtime import Telemetry
+from repro.telemetry.spans import TickClock
+
+
+class TransferFaultModel:
+    """Per-transfer stall draws for one engine run.
+
+    The engine executes transfers in a single deterministic order, so
+    the model seeds each draw from ``(scenario seed, transfer
+    index)``; time windows do not apply on the engine's logical clock
+    and every ``pcie-stall`` event contributes its probability for
+    the whole run.
+    """
+
+    #: Mixing constant separating the engine's RNG stream from the
+    #: serving loop's per-request stream.
+    _STREAM = 0x5BD1E995
+
+    def __init__(self, scenario: FaultScenario) -> None:
+        self.scenario = scenario
+        survive = 1.0
+        for event in scenario.events_of(FaultKind.PCIE_STALL):
+            survive *= 1.0 - event.magnitude
+        self.probability = 1.0 - survive
+        self._next_index = 0
+        self.stalls = 0
+        self.retries = 0
+        self.failures = 0
+
+    @property
+    def idle(self) -> bool:
+        return self.probability <= 0.0
+
+    def on_transfer(self, label: str,
+                    telemetry: Optional[Telemetry]) -> int:
+        """Draw the stall outcome for one logged transfer.
+
+        Returns the number of retries charged (0 when the transfer
+        went through first try).  Counters and spans land in
+        ``telemetry`` when one is active.
+        """
+        index = self._next_index
+        self._next_index += 1
+        if self.idle:
+            return 0
+        rng = self.scenario.rng_for(index ^ self._STREAM)
+        if rng.random() >= self.probability:
+            return 0
+        self.stalls += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("faults.engine.stalls").inc()
+        retries = 0
+        recovered = False
+        for attempt in range(self.scenario.retry.max_retries):
+            retries += 1
+            self.retries += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("faults.engine.retries").inc()
+                self._retry_span(telemetry, label, attempt)
+            if rng.random() >= self.probability:
+                recovered = True
+                break
+        if not recovered:
+            self.failures += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("faults.engine.failures").inc()
+        return retries
+
+    def _retry_span(self, telemetry: Telemetry, label: str,
+                    attempt: int) -> None:
+        tracer = telemetry.tracer
+        start = tracer.clock()
+        if isinstance(tracer.clock, TickClock):
+            tracer.clock.advance()
+        tracer.add_span(f"retry:{label}", "faults", start,
+                        tracer.clock(), attempt=attempt,
+                        backoff_s=self.scenario.retry.backoff_delay(
+                            attempt))

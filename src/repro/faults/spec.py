@@ -1,0 +1,364 @@
+"""Fault-scenario specifications: what breaks, when, and how hard.
+
+A :class:`FaultScenario` is a declarative, fully seeded description
+of a degraded operating regime: a list of timed :class:`FaultEvent`
+windows (GPU HBM pressure, PCIe link downshift, transient transfer
+stalls, CXL bandwidth contention, CPU core preemption) plus the
+degradation-policy knobs the serving layer reacts with (admission
+control and retry/backoff, see :mod:`repro.serving.degradation`).
+
+Scenarios load from JSON always and from YAML when PyYAML is
+importable; both map onto the same dictionary schema documented in
+docs/ROBUSTNESS.md.  Everything is validated eagerly so a malformed
+spec fails with one :class:`ConfigurationError` line, not a traceback
+deep inside the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The fault classes the injector knows how to apply."""
+
+    #: Reserve a fraction of GPU HBM (another tenant, fragmentation,
+    #: or a working-buffer spike); magnitude = reserved capacity
+    #: fraction in [0, 1).  Squeezes Optimization-1 residency and can
+    #: force batch shrinking.
+    GPU_HBM_PRESSURE = "gpu-hbm-pressure"
+    #: Host-link bandwidth downshift (e.g. PCIe Gen5 -> Gen4 link
+    #: retraining); magnitude = bandwidth scale factor in (0, 1].
+    PCIE_DOWNSHIFT = "pcie-downshift"
+    #: Transient per-chunk transfer stalls (replayed DLLP/TLP errors,
+    #: DMA engine hiccups); magnitude = per-chunk stall probability
+    #: in [0, 1].
+    PCIE_STALL = "pcie-stall"
+    #: CXL expander bandwidth contention (a co-tenant streaming from
+    #: the same pool); magnitude = bandwidth scale factor in (0, 1].
+    CXL_CONTENTION = "cxl-contention"
+    #: CPU core preemption (co-scheduled jobs stealing AMX cores);
+    #: magnitude = fraction of compute lost in [0, 1).
+    CPU_PREEMPTION = "cpu-preemption"
+
+
+#: Fault kinds that degrade capacity/latency (everything except the
+#: probabilistic stall class, which degrades via retries instead).
+PERFORMANCE_KINDS = (
+    FaultKind.GPU_HBM_PRESSURE,
+    FaultKind.PCIE_DOWNSHIFT,
+    FaultKind.CXL_CONTENTION,
+    FaultKind.CPU_PREEMPTION,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault window on the simulated clock (seconds)."""
+
+    kind: FaultKind
+    start: float = 0.0
+    #: Window length in sim-seconds; ``inf`` means "for the whole run".
+    duration: float = float("inf")
+    #: Kind-specific severity (see :class:`FaultKind` docstrings).
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0:
+            raise ConfigurationError(
+                f"fault {self.kind.value}: start must be >= 0, "
+                f"got {self.start}")
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"fault {self.kind.value}: duration must be > 0, "
+                f"got {self.duration}")
+        if self.kind in (FaultKind.PCIE_DOWNSHIFT,
+                         FaultKind.CXL_CONTENTION):
+            if not 0.0 < self.magnitude <= 1.0:
+                raise ConfigurationError(
+                    f"fault {self.kind.value}: magnitude is a bandwidth "
+                    f"scale in (0, 1], got {self.magnitude}")
+        elif self.kind in (FaultKind.GPU_HBM_PRESSURE,
+                           FaultKind.CPU_PREEMPTION):
+            if not 0.0 <= self.magnitude < 1.0:
+                raise ConfigurationError(
+                    f"fault {self.kind.value}: magnitude is a capacity "
+                    f"fraction in [0, 1), got {self.magnitude}")
+        else:  # PCIE_STALL
+            if not 0.0 <= self.magnitude <= 1.0:
+                raise ConfigurationError(
+                    f"fault {self.kind.value}: magnitude is a "
+                    f"probability in [0, 1], got {self.magnitude}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active_at(self, time: float) -> bool:
+        """Half-open window: active on ``[start, end)``."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-timeout-and-exponential-backoff for failed chunks."""
+
+    max_retries: int = 3
+    #: Seconds a stalled chunk waits before the failure is declared.
+    timeout_s: float = 0.05
+    #: First backoff delay; attempt ``k`` waits ``base * factor**k``.
+    backoff_base_s: float = 0.01
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s < 0.0:
+            raise ConfigurationError(
+                f"timeout_s must be >= 0, got {self.timeout_s}")
+        if self.backoff_base_s < 0.0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-indexed)."""
+        if attempt < 0:
+            raise ConfigurationError(
+                f"attempt must be >= 0, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** attempt
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure at the front door of the serving queue."""
+
+    #: Maximum queued-or-running requests before deferral; 0 disables
+    #: admission control entirely.
+    max_queue_depth: int = 0
+    #: How many client-side backoff deferrals before the request is
+    #: shed (dropped and reported, never silently lost).
+    max_deferrals: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 0:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 0, "
+                f"got {self.max_queue_depth}")
+        if self.max_deferrals < 0:
+            raise ConfigurationError(
+                f"max_deferrals must be >= 0, got {self.max_deferrals}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_queue_depth > 0
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, seeded fault schedule plus degradation knobs."""
+
+    name: str = "baseline"
+    seed: int = 0
+    events: Tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    #: Transfer chunks per request used by the stall model; defaults
+    #: to one chunk per streamed decoder layer when 0.
+    chunks_per_request: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunks_per_request < 0:
+            raise ConfigurationError(
+                f"chunks_per_request must be >= 0, "
+                f"got {self.chunks_per_request}")
+
+    @property
+    def idle(self) -> bool:
+        """True when the scenario cannot perturb anything: no fault
+        windows and no admission bound.  An idle scenario must be
+        bit-for-bit equivalent to running without the fault layer."""
+        return not self.events and not self.admission.enabled
+
+    def events_of(self, kind: FaultKind) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind is kind)
+
+    def active_at(self, time: float) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.active_at(time))
+
+    def rng_for(self, index: int) -> random.Random:
+        """A deterministic per-decision RNG.
+
+        Seeded from ``(scenario seed, decision index)`` with a fixed
+        mixing constant, so outcomes depend only on the scenario and
+        the request's position in the workload — never on worker
+        count, estimation order, or interleaving.
+        """
+        if index < 0:
+            raise ConfigurationError(f"index must be >= 0, got {index}")
+        return random.Random((self.seed << 24) ^ 0x9E3779B1 ^ index)
+
+
+# ----------------------------------------------------------------------
+# Dictionary / file loading
+# ----------------------------------------------------------------------
+_EVENT_KEYS = {"kind", "start", "duration", "magnitude"}
+_RETRY_KEYS = {"max_retries", "timeout_s", "backoff_base_s",
+               "backoff_factor"}
+_ADMISSION_KEYS = {"max_queue_depth", "max_deferrals"}
+_SCENARIO_KEYS = {"name", "seed", "events", "retry", "admission",
+                  "chunks_per_request"}
+
+
+def _require_mapping(value: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"{where} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(data: Mapping[str, Any], allowed: set, where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown keys {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}")
+
+
+def _number(data: Mapping[str, Any], key: str, default: float,
+            where: str) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{where}.{key} must be a number, got {value!r}")
+    return float(value)
+
+
+def event_from_dict(data: Mapping[str, Any]) -> FaultEvent:
+    """Build one :class:`FaultEvent` from its dictionary form."""
+    data = _require_mapping(data, "fault event")
+    _check_keys(data, _EVENT_KEYS, "fault event")
+    kind_name = data.get("kind")
+    try:
+        kind = FaultKind(kind_name)
+    except ValueError:
+        known = ", ".join(k.value for k in FaultKind)
+        raise ConfigurationError(
+            f"unknown fault kind {kind_name!r}; known kinds: "
+            f"{known}") from None
+    return FaultEvent(
+        kind=kind,
+        start=_number(data, "start", 0.0, kind.value),
+        duration=_number(data, "duration", float("inf"), kind.value),
+        magnitude=_number(data, "magnitude", 0.0, kind.value))
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> FaultScenario:
+    """Build a :class:`FaultScenario` from its dictionary form."""
+    data = _require_mapping(data, "scenario")
+    _check_keys(data, _SCENARIO_KEYS, "scenario")
+    events_data = data.get("events", [])
+    if not isinstance(events_data, Sequence) or isinstance(
+            events_data, (str, bytes)):
+        raise ConfigurationError("scenario.events must be a list")
+    retry_data = _require_mapping(data.get("retry", {}), "scenario.retry")
+    _check_keys(retry_data, _RETRY_KEYS, "scenario.retry")
+    admission_data = _require_mapping(data.get("admission", {}),
+                                      "scenario.admission")
+    _check_keys(admission_data, _ADMISSION_KEYS, "scenario.admission")
+    seed = data.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ConfigurationError(
+            f"scenario.seed must be an integer, got {seed!r}")
+    return FaultScenario(
+        name=str(data.get("name", "scenario")),
+        seed=seed,
+        events=tuple(event_from_dict(e) for e in events_data),
+        retry=RetryPolicy(
+            max_retries=int(_number(retry_data, "max_retries", 3,
+                                    "scenario.retry")),
+            timeout_s=_number(retry_data, "timeout_s", 0.05,
+                              "scenario.retry"),
+            backoff_base_s=_number(retry_data, "backoff_base_s", 0.01,
+                                   "scenario.retry"),
+            backoff_factor=_number(retry_data, "backoff_factor", 2.0,
+                                   "scenario.retry")),
+        admission=AdmissionPolicy(
+            max_queue_depth=int(_number(admission_data,
+                                        "max_queue_depth", 0,
+                                        "scenario.admission")),
+            max_deferrals=int(_number(admission_data, "max_deferrals",
+                                      3, "scenario.admission"))),
+        chunks_per_request=int(_number(data, "chunks_per_request", 0,
+                                       "scenario")))
+
+
+def scenario_to_dict(scenario: FaultScenario) -> Dict[str, Any]:
+    """The JSON/YAML-serializable form of a scenario."""
+    events: List[Dict[str, Any]] = []
+    for event in scenario.events:
+        entry: Dict[str, Any] = {"kind": event.kind.value,
+                                 "start": event.start,
+                                 "magnitude": event.magnitude}
+        if event.duration != float("inf"):
+            entry["duration"] = event.duration
+        events.append(entry)
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "events": events,
+        "retry": {
+            "max_retries": scenario.retry.max_retries,
+            "timeout_s": scenario.retry.timeout_s,
+            "backoff_base_s": scenario.retry.backoff_base_s,
+            "backoff_factor": scenario.retry.backoff_factor,
+        },
+        "admission": {
+            "max_queue_depth": scenario.admission.max_queue_depth,
+            "max_deferrals": scenario.admission.max_deferrals,
+        },
+        "chunks_per_request": scenario.chunks_per_request,
+    }
+
+
+def load_scenario(path: str) -> FaultScenario:
+    """Load a scenario spec from a ``.json``/``.yaml``/``.yml`` file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read scenario file {path!r}: {error}") from None
+    if path.endswith((".yaml", ".yml")):
+        data = _parse_yaml(text, path)
+    else:
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"scenario file {path!r} is not valid JSON: "
+                f"{error}") from None
+    return scenario_from_dict(_require_mapping(data, f"scenario {path!r}"))
+
+
+def _parse_yaml(text: str, path: str) -> Any:
+    try:
+        import yaml
+    except ImportError:
+        raise ConfigurationError(
+            f"scenario file {path!r} is YAML but PyYAML is not "
+            "installed; use the JSON form instead") from None
+    try:
+        return yaml.safe_load(text)
+    except yaml.YAMLError as error:
+        raise ConfigurationError(
+            f"scenario file {path!r} is not valid YAML: {error}") from None

@@ -41,6 +41,23 @@ class GpuSpec:
         """HBM capacity in bytes."""
         return self.memory.capacity_bytes
 
+    def with_memory_pressure(self, reserved_fraction: float) -> "GpuSpec":
+        """A copy with part of the HBM reserved away (fault injection).
+
+        Models a co-tenant allocation or working-buffer spike claiming
+        ``reserved_fraction`` of capacity: Optimization-1 residency
+        re-plans against the smaller pool and large batches may now
+        OOM, triggering the serving layer's batch-shrink fallback.
+        Fraction 0.0 returns ``self`` unchanged.
+        """
+        if reserved_fraction == 0.0:
+            return self
+        from dataclasses import replace
+
+        pressured = self.memory.with_reserved_fraction(reserved_fraction)
+        return replace(self, name=f"{self.name}!hbm{reserved_fraction:g}",
+                       memory=pressured)
+
 
 def _make_gpu(name: str, peak_tflops: float, max_eff: float,
               half_flops: float, hbm_gib: float, hbm_gb_s: float,

@@ -58,6 +58,47 @@ class MemoryDevice:
         """Purchase cost of this pool in USD."""
         return self.cost_per_gb * self.capacity_bytes / 1e9
 
+    def with_bandwidth_scale(self, scale: float) -> "MemoryDevice":
+        """A contended copy of this pool (fault injection).
+
+        ``scale`` in (0, 1] is the bandwidth fraction left to this
+        workload — e.g. a co-tenant streaming from the same CXL
+        expander.  Scale 1.0 returns ``self`` unchanged.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidth scale must be in (0, 1], "
+                f"got {scale}")
+        if scale == 1.0:
+            return self
+        return MemoryDevice(name=f"{self.name}!x{scale:g}",
+                            kind=self.kind,
+                            capacity_bytes=self.capacity_bytes,
+                            bandwidth=self.bandwidth * scale,
+                            latency=self.latency,
+                            cost_per_gb=self.cost_per_gb)
+
+    def with_reserved_fraction(self, fraction: float) -> "MemoryDevice":
+        """A pressured copy with part of the capacity reserved away.
+
+        ``fraction`` in [0, 1) models another tenant's allocation (or
+        fragmentation) shrinking the pool; bandwidth is untouched.
+        Fraction 0.0 returns ``self`` unchanged.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: reserved fraction must be in [0, 1), "
+                f"got {fraction}")
+        if fraction == 0.0:
+            return self
+        return MemoryDevice(name=f"{self.name}!r{fraction:g}",
+                            kind=self.kind,
+                            capacity_bytes=self.capacity_bytes
+                            * (1.0 - fraction),
+                            bandwidth=self.bandwidth,
+                            latency=self.latency,
+                            cost_per_gb=self.cost_per_gb)
+
 
 def interleave(devices: Sequence[MemoryDevice],
                name: str = "") -> MemoryDevice:

@@ -9,7 +9,7 @@ and the 3xV100 + low-end-CPU alternative (§8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.cpu import CpuSpec, get_cpu

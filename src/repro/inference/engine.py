@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from repro.faults.engine import TransferFaultModel
 from repro.core.policy import OffloadPolicy
 from repro.errors import ConfigurationError
 from repro.inference.kv_cache import KVCache, make_caches
@@ -65,7 +67,9 @@ class CooperativeEngine:
                  decode_policy: OffloadPolicy,
                  weights_home: str = "cpu",
                  resident_layers: Optional[List[int]] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 fault_model: Optional["TransferFaultModel"] = None
+                 ) -> None:
         self.model = model
         self.prefill_policy = prefill_policy
         self.decode_policy = decode_policy
@@ -75,6 +79,9 @@ class CooperativeEngine:
         self.caches: List[KVCache] = make_caches(model.spec.n_layers)
         self._position = 0
         self._telemetry = telemetry
+        # Accounting-only: stall/retry draws per logged transfer, never
+        # touching tokens or the TransferLog (see repro.faults.engine).
+        self.fault_model = fault_model
         self.log.subscribe(self._on_transfer)
 
     # ------------------------------------------------------------------
@@ -90,6 +97,8 @@ class CooperativeEngine:
 
     def _on_transfer(self, record: TransferRecord) -> None:
         telemetry = self._active_telemetry()
+        if self.fault_model is not None and not self.fault_model.idle:
+            self.fault_model.on_transfer(record.label, telemetry)
         if telemetry is None:
             return
         telemetry.metrics.counter(

@@ -1,0 +1,445 @@
+"""Graceful degradation for the serving simulator.
+
+This module is the reaction half of the fault layer: given a seeded
+:class:`~repro.faults.spec.FaultScenario`, the degraded serving loop
+keeps the FIFO server of :mod:`repro.serving.simulator` answering
+requests while the platform misbehaves, using three mechanisms:
+
+* **Admission control / backpressure** — when the queue is deeper
+  than the scenario's bound, arriving requests are deferred with
+  exponential client backoff and shed (dropped, counted, reported)
+  after too many deferrals.
+* **Retry with timeout and exponential backoff** — transfer chunks
+  that stall under an active ``pcie-stall`` window each cost a
+  timeout, then retry on a backoff schedule until they go through or
+  exhaust their budget (a counted chunk failure).
+* **Policy re-solve fallback** — while capacity/latency faults are
+  active, the request is re-estimated on the *degraded* platform, so
+  the §5 policy space is re-searched (FC sublayers shift toward AMX
+  when the GPU is pressured) and, if the pressured HBM can no longer
+  hold the batch, the batch is halved until it fits (or the request
+  is shed at B=1).
+
+Every decision draws from per-request RNGs derived from the scenario
+seed, so a degraded run is deterministic across worker counts and
+repeat invocations; with an idle scenario the loop reproduces the
+fault-free timeline bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import LiaEstimator
+from repro.errors import CapacityError, ConfigurationError
+from repro.experiments.runner import run_sweep
+from repro.faults.injector import FaultInjector, FaultSignature
+from repro.faults.spec import FaultScenario
+from repro.models.workload import InferenceRequest
+from repro.serving.simulator import (ServedRequest, ServingReport,
+                                     ServingSimulator)
+from repro.telemetry.bridge import (serving_report_to_metrics,
+                                    serving_report_to_spans)
+from repro.telemetry.runtime import Telemetry
+
+
+@dataclass
+class FaultStats:
+    """Counters of every degradation event in one run."""
+
+    deferred: int = 0
+    dropped: int = 0
+    transfer_stalls: int = 0
+    transfer_retries: int = 0
+    transfer_failures: int = 0
+    policy_resolves: int = 0
+    policy_shifts: int = 0
+    batch_shrinks: int = 0
+    unservable: int = 0
+    backoff_seconds: float = 0.0
+    stall_seconds: float = 0.0
+    degraded_requests: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "deferred": self.deferred,
+            "dropped": self.dropped,
+            "transfer_stalls": self.transfer_stalls,
+            "transfer_retries": self.transfer_retries,
+            "transfer_failures": self.transfer_failures,
+            "policy_resolves": self.policy_resolves,
+            "policy_shifts": self.policy_shifts,
+            "batch_shrinks": self.batch_shrinks,
+            "unservable": self.unservable,
+            "backoff_seconds": self.backoff_seconds,
+            "stall_seconds": self.stall_seconds,
+            "degraded_requests": self.degraded_requests,
+        }
+
+    @property
+    def total_faults(self) -> int:
+        """Total countable fault reactions (the report's headline)."""
+        return (self.deferred + self.dropped + self.transfer_stalls
+                + self.policy_resolves + self.batch_shrinks
+                + self.unservable)
+
+
+@dataclass(frozen=True)
+class DroppedRequest:
+    """A request shed by admission control or unservable under faults."""
+
+    request: InferenceRequest
+    arrival: float
+    reason: str
+
+
+@dataclass
+class DegradedServingReport(ServingReport):
+    """A :class:`ServingReport` plus the degradation record."""
+
+    scenario_name: str = ""
+    dropped: List[DroppedRequest] = field(default_factory=list)
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        # Unlike the base report, a fully-shed run is a legal (if
+        # grim) outcome: every request is accounted for in ``dropped``.
+        if not self.served and not self.dropped:
+            raise ConfigurationError("report needs at least one request")
+
+    @property
+    def makespan(self) -> float:
+        return max((r.finish for r in self.served), default=0.0)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if not self.served:
+            return 0.0
+        return super().mean_queue_delay
+
+    @property
+    def n_offered(self) -> int:
+        return len(self.served) + len(self.dropped)
+
+    @property
+    def drop_rate(self) -> float:
+        return len(self.dropped) / self.n_offered if self.n_offered else 0.0
+
+
+@dataclass(frozen=True)
+class _ServicePlan:
+    """How one request gets served under a fault signature."""
+
+    latency: float
+    n_chunks: int
+    shrinks: int
+    resolved: bool
+    policy_shifted: bool
+
+
+class DegradationController:
+    """Per-run reaction state: admission, retries, policy re-solve.
+
+    One controller serves one ``run``; it memoizes service plans per
+    (request shape, active-fault signature) so repeated shapes inside
+    the same fault window re-use one estimate, mirroring the
+    fault-free path's shape memoization.
+    """
+
+    def __init__(self, simulator: ServingSimulator,
+                 scenario: FaultScenario,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.simulator = simulator
+        self.scenario = scenario
+        self.injector = FaultInjector(scenario)
+        self.telemetry = telemetry
+        self.stats = FaultStats()
+        self._base_plans: Dict[InferenceRequest, _ServicePlan] = {}
+        self._degraded_plans: Dict[
+            Tuple[InferenceRequest, FaultSignature], _ServicePlan] = {}
+        self._degraded_estimators: Dict[FaultSignature, LiaEstimator] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name, **labels).inc(amount)
+
+    def _span(self, name: str, start: float, finish: float,
+              **args: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tracer.add_span(name, "faults", start,
+                                           finish, **args)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def admit(self, arrival: float, index: int,
+              pending_finishes: Sequence[float]) -> Optional[float]:
+        """Admission decision for the request arriving at ``arrival``.
+
+        Returns the effective (possibly deferred) arrival time, or
+        ``None`` when the request is shed.  Queue depth counts
+        previously admitted requests still unfinished at the probe
+        time; each deferral waits one exponential-backoff step.
+        """
+        admission = self.scenario.admission
+        if not admission.enabled:
+            return arrival
+        effective = arrival
+        for attempt in range(admission.max_deferrals + 1):
+            depth = sum(1 for finish in pending_finishes
+                        if finish > effective)
+            if depth < admission.max_queue_depth:
+                return effective
+            if attempt == admission.max_deferrals:
+                break
+            delay = self.scenario.retry.backoff_delay(attempt)
+            self.stats.deferred += 1
+            self.stats.backoff_seconds += delay
+            self._count("faults.admission.deferred")
+            self._count("faults.backoff_seconds", delay)
+            self._span(f"defer:req{index}", effective, effective + delay,
+                       attempt=attempt, depth=depth)
+            effective += delay
+        self.stats.dropped += 1
+        self._count("faults.admission.dropped")
+        return None
+
+    # ------------------------------------------------------------------
+    # Service planning: policy re-solve + batch shrink
+    # ------------------------------------------------------------------
+    def _base_plan(self, request: InferenceRequest) -> _ServicePlan:
+        plan = self._base_plans.get(request)
+        if plan is None:
+            estimate = self.simulator.estimator.estimate(request)
+            plan = _ServicePlan(
+                latency=estimate.latency,
+                n_chunks=self._chunks(estimate),
+                shrinks=0, resolved=False, policy_shifted=False)
+            self._base_plans[request] = plan
+        return plan
+
+    def _chunks(self, estimate) -> int:
+        if self.scenario.chunks_per_request > 0:
+            return self.scenario.chunks_per_request
+        streamed = (estimate.residency.n_layers
+                    - estimate.residency.n_resident_layers)
+        return max(1, streamed)
+
+    def _degraded_estimator(self,
+                            signature: FaultSignature,
+                            time: float) -> LiaEstimator:
+        estimator = self._degraded_estimators.get(signature)
+        if estimator is None:
+            base = self.simulator.estimator
+            system = self.injector.degraded_system(base.system, time)
+            estimator = LiaEstimator(base.spec, system, base.config)
+            self._degraded_estimators[signature] = estimator
+        return estimator
+
+    def plan_service(self, request: InferenceRequest, start: float,
+                     index: int) -> Optional[_ServicePlan]:
+        """The service plan for ``request`` starting at ``start``.
+
+        Without active capacity/latency faults this is the fault-free
+        estimate (bit-identical to the plain simulator).  Under
+        faults, the request is re-estimated on the degraded platform
+        (policy re-solve); a :class:`CapacityError` halves the batch
+        until it fits, and a batch that cannot fit even at B=1 sheds
+        the request (returns ``None``).
+        """
+        signature = self.injector.performance_signature(start)
+        if not signature:
+            return self._base_plan(request)
+        key = (request, signature)
+        plan = self._degraded_plans.get(key)
+        if plan is not None:
+            self._note_plan(plan, index, start)
+            return plan
+        estimator = self._degraded_estimator(signature, start)
+        base = self._base_plan_policy(request)
+        batch = request.batch_size
+        shrinks = 0
+        while True:
+            attempt = (request if batch == request.batch_size
+                       else replace(request, batch_size=batch))
+            try:
+                estimate = estimator.estimate(attempt)
+                break
+            except CapacityError:
+                if batch == 1:
+                    self.stats.unservable += 1
+                    self._count("faults.unservable")
+                    return None
+                batch = (batch + 1) // 2
+                shrinks += 1
+        pieces = math.ceil(request.batch_size / batch)
+        shifted = (str(estimate.decode_policy) != base[1]
+                   or str(estimate.prefill_policy) != base[0])
+        plan = _ServicePlan(latency=estimate.latency * pieces,
+                            n_chunks=self._chunks(estimate) * pieces,
+                            shrinks=shrinks, resolved=True,
+                            policy_shifted=shifted)
+        self._degraded_plans[key] = plan
+        self._note_plan(plan, index, start)
+        return plan
+
+    def _base_plan_policy(self,
+                          request: InferenceRequest) -> Tuple[str, str]:
+        estimate = self.simulator.estimator.estimate(request)
+        return str(estimate.prefill_policy), str(estimate.decode_policy)
+
+    def _note_plan(self, plan: _ServicePlan, index: int,
+                   start: float) -> None:
+        self.stats.policy_resolves += 1
+        self._count("faults.policy_resolves")
+        if plan.policy_shifted:
+            self.stats.policy_shifts += 1
+            self._count("faults.policy_shifts")
+        if plan.shrinks:
+            self.stats.batch_shrinks += plan.shrinks
+            self._count("faults.batch_shrinks", plan.shrinks)
+            self._span(f"shrink:req{index}", start, start,
+                       halvings=plan.shrinks)
+
+    # ------------------------------------------------------------------
+    # Transfer retry / backoff
+    # ------------------------------------------------------------------
+    def transfer_penalty(self, start: float, index: int,
+                         n_chunks: int) -> float:
+        """Extra seconds request ``index`` spends on stalled chunks.
+
+        Each stalled chunk costs one timeout, then retries on the
+        exponential-backoff schedule; a retry that stalls again costs
+        another timeout.  Chunks whose retry budget runs out are
+        counted as failures (the data rides the next refetch) and
+        charged one final timeout.
+        """
+        retry = self.scenario.retry
+        stalled = self.injector.chunk_stalls(start, index, n_chunks)
+        if not stalled:
+            return 0.0
+        penalty = 0.0
+        for chunk in stalled:
+            self.stats.transfer_stalls += 1
+            self._count("faults.transfer.stalls")
+            at = start + penalty
+            penalty += retry.timeout_s
+            self.stats.stall_seconds += retry.timeout_s
+            self._span(f"stall:req{index}:chunk{chunk}", at,
+                       at + retry.timeout_s, chunk=chunk)
+            recovered = False
+            for attempt in range(retry.max_retries):
+                delay = retry.backoff_delay(attempt)
+                at = start + penalty
+                penalty += delay
+                self.stats.transfer_retries += 1
+                self.stats.backoff_seconds += delay
+                self._count("faults.transfer.retries")
+                self._count("faults.backoff_seconds", delay)
+                self._span(f"backoff:req{index}:chunk{chunk}", at,
+                           at + delay, attempt=attempt)
+                if self.injector.retry_succeeds(index, chunk, attempt,
+                                                start):
+                    recovered = True
+                    break
+                penalty += retry.timeout_s
+                self.stats.stall_seconds += retry.timeout_s
+                self._span(f"stall:req{index}:chunk{chunk}",
+                           at + delay, at + delay + retry.timeout_s,
+                           chunk=chunk, attempt=attempt)
+            if not recovered:
+                self.stats.transfer_failures += 1
+                self._count("faults.transfer.failures")
+        return penalty
+
+
+def run_degraded(simulator: ServingSimulator,
+                 requests: Sequence[InferenceRequest],
+                 arrivals: Sequence[float],
+                 scenario: FaultScenario) -> DegradedServingReport:
+    """Serve ``requests`` through the FIFO server under ``scenario``.
+
+    The loop mirrors :meth:`ServingSimulator.run` exactly — same
+    start/finish arithmetic, same shape memoization — and layers the
+    three degradation mechanisms on top, so an idle scenario yields a
+    bit-identical timeline.  Distinct request shapes are pre-estimated
+    through :func:`repro.experiments.runner.run_sweep`; the runner
+    returns results in input order, so ``REPRO_SWEEP_WORKERS`` cannot
+    change any outcome.
+    """
+    if len(requests) != len(arrivals):
+        raise ConfigurationError(
+            "requests and arrivals must have equal length")
+    if list(arrivals) != sorted(arrivals):
+        raise ConfigurationError("arrivals must be non-decreasing")
+    telemetry = simulator._active_telemetry()
+    controller = DegradationController(simulator, scenario, telemetry)
+
+    # Warm the base-plan memo in deterministic input order; parallel
+    # workers only change wall-clock time, never a result bit.
+    distinct: List[InferenceRequest] = []
+    seen = set()
+    for request in requests:
+        if request not in seen:
+            seen.add(request)
+            distinct.append(request)
+    try:
+        for request, estimate in zip(
+                distinct,
+                run_sweep(simulator.estimator.estimate, distinct)):
+            controller._base_plans[request] = _ServicePlan(
+                latency=estimate.latency,
+                n_chunks=controller._chunks(estimate),
+                shrinks=0, resolved=False, policy_shifted=False)
+    except CapacityError:
+        # Oversized shapes surface per-request below, exactly where
+        # the fault-free path would raise them.
+        pass
+
+    served: List[ServedRequest] = []
+    dropped: List[DroppedRequest] = []
+    finishes: List[float] = []
+    free_at = 0.0
+    for index, (request, arrival) in enumerate(zip(requests, arrivals)):
+        effective = controller.admit(arrival, index, finishes)
+        if effective is None:
+            dropped.append(DroppedRequest(
+                request=request, arrival=arrival,
+                reason="shed by admission control"))
+            continue
+        start = max(effective, free_at)
+        plan = controller.plan_service(request, start, index)
+        if plan is None:
+            dropped.append(DroppedRequest(
+                request=request, arrival=arrival,
+                reason="does not fit the degraded platform at B=1"))
+            continue
+        penalty = controller.transfer_penalty(start, index,
+                                              plan.n_chunks)
+        if plan.resolved or penalty > 0.0:
+            controller.stats.degraded_requests += 1
+        finish = start + plan.latency + penalty
+        served.append(ServedRequest(request=request, arrival=arrival,
+                                    start=start, finish=finish))
+        finishes.append(finish)
+        free_at = finish
+
+    report = DegradedServingReport(
+        served=served, scenario_name=scenario.name, dropped=dropped,
+        stats=controller.stats)
+    if telemetry is not None:
+        serving_report_to_metrics(
+            report, telemetry.metrics,
+            system=simulator.estimator.system.name,
+            model=simulator.estimator.spec.name)
+        for span in serving_report_to_spans(report):
+            telemetry.tracer.add_span(span.name, span.track,
+                                      span.start, span.finish,
+                                      **span.args)
+        telemetry.metrics.gauge(
+            "faults.dropped_requests",
+            scenario=scenario.name).set(len(dropped))
+    return report

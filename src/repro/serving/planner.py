@@ -10,9 +10,12 @@ workload), and rank the survivors by amortized $/hour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.core.config import LiaConfig
+
+if TYPE_CHECKING:
+    from repro.faults.spec import FaultScenario
 from repro.core.estimator import LiaEstimator
 from repro.energy.cost import CostModel
 from repro.errors import CapacityError, ConfigurationError
@@ -43,12 +46,20 @@ def choose_system(spec: ModelSpec, requests: Sequence[InferenceRequest],
                                                "gnr-a100", "gnr-h100"),
                   arrival_rate_per_s: float = 0.01,
                   config: Optional[LiaConfig] = None,
-                  seed: int = 0) -> List[PlanChoice]:
+                  seed: int = 0,
+                  scenario: Optional["FaultScenario"] = None
+                  ) -> List[PlanChoice]:
     """Evaluate candidates; first entry is the recommended system.
 
     Returns every candidate's :class:`PlanChoice`, feasible ones
     first, sorted by $/hour; infeasible ones (SLO miss or OOM) follow
     with their reasons.
+
+    ``scenario`` plans *robustly*: each candidate is judged on its
+    p95 under the given fault scenario (degraded serving loop), so
+    the recommendation is the cheapest system that meets the SLO even
+    while degraded — the capacity question §6-7 answers for the happy
+    path, asked about the unhappy one.
     """
     if slo_p95_seconds <= 0.0:
         raise ConfigurationError("slo_p95_seconds must be positive")
@@ -62,12 +73,19 @@ def choose_system(spec: ModelSpec, requests: Sequence[InferenceRequest],
         cost = CostModel(system).usd_per_hour()
         try:
             report = ServingSimulator(estimator).run_poisson(
-                requests, arrival_rate_per_s, seed=seed)
+                requests, arrival_rate_per_s, seed=seed,
+                scenario=scenario)
         except CapacityError as error:
             choices.append(PlanChoice(system=system, feasible=False,
                                       p95_latency=float("inf"),
                                       usd_per_hour=cost,
                                       reason=f"OOM: {error}"))
+            continue
+        if not report.served:
+            choices.append(PlanChoice(
+                system=system, feasible=False,
+                p95_latency=float("inf"), usd_per_hour=cost,
+                reason="every request shed under the fault scenario"))
             continue
         p95 = report.latency_percentile(0.95)
         if p95 > slo_p95_seconds:

@@ -12,11 +12,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.core.estimator import LiaEstimator
 from repro.errors import ConfigurationError
 from repro.models.workload import InferenceRequest
+
+if TYPE_CHECKING:
+    from repro.faults.spec import FaultScenario
 from repro.telemetry.bridge import (serving_report_to_metrics,
                                     serving_report_to_spans)
 from repro.telemetry.runtime import Telemetry
@@ -110,8 +113,20 @@ class ServingSimulator:
                 else current_telemetry())
 
     def run(self, requests: Sequence[InferenceRequest],
-            arrivals: Sequence[float]) -> ServingReport:
-        """Serve ``requests`` arriving at ``arrivals`` (seconds)."""
+            arrivals: Sequence[float],
+            scenario: Optional["FaultScenario"] = None) -> ServingReport:
+        """Serve ``requests`` arriving at ``arrivals`` (seconds).
+
+        ``scenario`` switches to the fault-injected loop of
+        :mod:`repro.serving.degradation`.  ``None`` — and any *idle*
+        scenario (no fault windows, no admission bound) — takes the
+        plain path below, so enabling the fault layer without faults
+        is bit-for-bit identical to not having it.
+        """
+        if scenario is not None and not scenario.idle:
+            from repro.serving.degradation import run_degraded
+
+            return run_degraded(self, requests, arrivals, scenario)
         if len(requests) != len(arrivals):
             raise ConfigurationError(
                 "requests and arrivals must have equal length")
@@ -153,7 +168,9 @@ class ServingSimulator:
         return report
 
     def run_poisson(self, requests: Sequence[InferenceRequest],
-                    rate_per_s: float, seed: int = 0) -> ServingReport:
+                    rate_per_s: float, seed: int = 0,
+                    scenario: Optional["FaultScenario"] = None
+                    ) -> ServingReport:
         """Serve with Poisson arrivals at ``rate_per_s`` (seeded)."""
         if rate_per_s <= 0.0:
             raise ConfigurationError(
@@ -164,4 +181,4 @@ class ServingSimulator:
         for __ in requests:
             clock += rng.expovariate(rate_per_s)
             arrivals.append(clock)
-        return self.run(requests, arrivals)
+        return self.run(requests, arrivals, scenario=scenario)

@@ -1,0 +1,1 @@
+"""Fault-injection layer tests."""

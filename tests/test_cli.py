@@ -78,6 +78,28 @@ def test_unknown_model_is_clean_error(capsys):
     assert "unknown model" in capsys.readouterr().err
 
 
+@pytest.mark.parametrize("argv", [
+    ["plan", "--model", "gpt-9"],
+    ["plan", "--system", "tpu-pod"],
+    ["policy-map", "--model", "gpt-9"],
+    ["policy-map", "--system", "tpu-pod"],
+    ["sweep", "--model", "gpt-9"],
+    ["sweep", "--system", "tpu-pod"],
+    ["trace", "--model", "gpt-9"],
+    ["trace", "--system", "tpu-pod"],
+    ["faults", "--model", "gpt-9"],
+    ["faults", "--system", "tpu-pod"],
+])
+def test_unknown_names_exit_nonzero_with_one_line_error(capsys, argv):
+    """Every subcommand turns unknown zoo names into `error: ...`, not
+    a traceback (exit code 1, single diagnostic line on stderr)."""
+    assert main(argv) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: unknown")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
 def _load_trace_validator():
     import importlib.util
     from pathlib import Path
@@ -149,6 +171,87 @@ def test_sweep(capsys, tmp_path):
     assert payload["model"] == "opt-30b"
     assert len(payload["rows"]) == 2
     assert all(row["latency_s"] > 0 for row in payload["rows"])
+
+
+def test_faults_list_presets(capsys):
+    assert main(["faults", "--list-presets"]) == 0
+    out = capsys.readouterr().out
+    assert "pcie-downshift" in out
+    assert "noisy-neighbor" in out
+
+
+def test_faults_preset_run_writes_trace_and_report(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "faults.trace.json"
+    report = tmp_path / "faults.json"
+    assert main(["faults", "--preset", "noisy-neighbor",
+                 "--model", "opt-30b", "--system", "spr-a100",
+                 "--requests", "12", "--out", str(trace),
+                 "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario noisy-neighbor" in out
+    assert "fault events" in out
+    assert _load_trace_validator().validate_trace_file(trace) == []
+    payload = json.loads(report.read_text())
+    assert payload["scenario"]["name"] == "noisy-neighbor"
+    assert payload["fault_stats"]["policy_resolves"] > 0
+    assert payload["percentiles"]["p99"] >= payload["percentiles"]["p50"]
+    metrics = json.loads((tmp_path / "faults.metrics.json").read_text())
+    names = {row["metric"] for row in metrics["metrics"]}
+    assert any(name.startswith("faults.") for name in names)
+
+
+def test_faults_scenario_file(capsys, tmp_path):
+    import json
+
+    spec_path = tmp_path / "scenario.json"
+    spec_path.write_text(json.dumps({
+        "name": "file-scenario", "seed": 11,
+        "events": [{"kind": "pcie-downshift", "magnitude": 0.5,
+                    "start": 0.0}]}))
+    assert main(["faults", "--scenario", str(spec_path),
+                 "--requests", "4"]) == 0
+    assert "scenario file-scenario" in capsys.readouterr().out
+
+
+def test_faults_without_scenario_matches_fault_free(capsys):
+    """No scenario: the faults command takes the plain serving path
+    and reports the exact fault-free numbers."""
+    assert main(["faults", "--requests", "6"]) == 0
+    plain = capsys.readouterr().out
+    assert "(fault-free)" in plain
+    assert "fault events" not in plain
+    # Idle scenario file: same numbers, bit for bit.
+    import json
+    import tempfile
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump({"name": "armed-idle", "seed": 1, "events": []},
+                  handle)
+        path = handle.name
+    assert main(["faults", "--scenario", path, "--requests", "6"]) == 0
+    idle = capsys.readouterr().out
+    strip = lambda text: [line for line in text.splitlines()
+                          if line.lstrip().startswith(("p50", "p95",
+                                                       "p99",
+                                                       "makespan"))]
+    assert strip(plain) == strip(idle)
+
+
+def test_faults_preset_and_scenario_conflict(capsys, tmp_path):
+    path = tmp_path / "s.json"
+    path.write_text("{}")
+    assert main(["faults", "--preset", "pcie-flaky",
+                 "--scenario", str(path)]) == 1
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_faults_unknown_preset(capsys):
+    assert main(["faults", "--preset", "asteroid"]) == 1
+    err = capsys.readouterr().err
+    assert "known scenarios" in err and "Traceback" not in err
 
 
 def test_sweep_exact_matches_fast(capsys):

@@ -1,0 +1,42 @@
+"""Golden-value regression tier: pinned paper operating points.
+
+Recomputes each case in :mod:`repro.experiments.goldens` and compares
+it against the committed snapshot.  A failure here means an estimator
+or optimizer change moved a published operating point — either fix
+the regression or regenerate the snapshot deliberately with
+``scripts/gen_goldens.py`` and justify the move in review.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.goldens import (GOLDEN_CASES, compare_payloads,
+                                       golden_path, load_golden)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_snapshot_committed(name):
+    assert os.path.exists(golden_path(name)), (
+        f"missing golden {name}; run scripts/gen_goldens.py")
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_values_unchanged(name):
+    golden = load_golden(name)
+    recomputed = GOLDEN_CASES[name]()
+    problems = compare_payloads(golden, recomputed)
+    assert not problems, (
+        f"{name} drifted from its golden snapshot "
+        f"({len(problems)} mismatches):\n  " + "\n  ".join(problems[:10]))
+
+
+def test_goldens_contain_policy_vectors():
+    """The Fig. 9 snapshot pins actual 6-bit policy vectors."""
+    golden = load_golden("fig09_policy_map")
+    grid = [row for row in golden["rows"]
+            if row.get("stage") in ("prefill", "decode")]
+    assert grid, "fig09 golden has no policy-grid rows"
+    for row in grid:
+        bits = [c for c in str(row["policy"]) if c in "01"]
+        assert len(bits) == 6, f"not a 6-bit policy: {row['policy']!r}"
