@@ -10,6 +10,8 @@ Commands:
   a metrics summary (see docs/OBSERVABILITY.md).
 * ``faults`` — run a degraded-serving simulation under a seeded
   fault scenario (see docs/ROBUSTNESS.md).
+* ``serve`` — vectorized million-request serving simulation with
+  multi-replica scale-out (see docs/PERFORMANCE.md).
 * ``experiment`` — run experiment drivers and print (or export) the
   tables.
 """
@@ -150,6 +152,37 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(metrics summary lands next to it)")
     faults.add_argument("--json", default="",
                         help="write the machine-readable report here")
+
+    serve = commands.add_parser(
+        "serve", help="vectorized serving simulation: millions of "
+                      "Poisson requests, optional replica scale-out "
+                      "(see docs/PERFORMANCE.md)")
+    serve.add_argument("--model", default="opt-30b")
+    serve.add_argument("--system", default="spr-a100")
+    serve.add_argument("--num-requests", type=int, default=100_000)
+    serve.add_argument("--rate", type=float, default=0.05,
+                       help="Poisson arrival rate (requests/s)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for both the shape mix and the "
+                            "arrival process")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="fleet size (k independent FIFO servers)")
+    serve.add_argument("--dispatch", choices=["round-robin",
+                                              "least-loaded"],
+                       default="round-robin")
+    serve.add_argument("--streaming", action="store_true",
+                       help="constant-memory percentiles (histogram "
+                            "sketch) regardless of request count")
+    serve.add_argument("--shape", action="append", default=[],
+                       metavar="B,L_IN,L_OUT",
+                       help="request shape in the mix (repeatable); "
+                            "default: a 4-shape tier-1 mix")
+    serve.add_argument("--slo-p95", type=float, default=0.0,
+                       help="instead of a fixed fleet, find the "
+                            "smallest one whose p95 meets this SLO "
+                            "(seconds)")
+    serve.add_argument("--json", default="",
+                       help="write the machine-readable report here")
 
     experiment = commands.add_parser(
         "experiment", help="run experiment drivers (paper tables and "
@@ -488,6 +521,101 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+_SERVE_DEFAULT_SHAPES = ((1, 128, 16), (1, 256, 32), (1, 512, 32),
+                         (8, 256, 32))
+
+
+def _parse_shape(spelled: str) -> InferenceRequest:
+    parts = spelled.split(",")
+    if len(parts) != 3:
+        raise ConfigurationError(
+            f"--shape wants B,L_IN,L_OUT, got {spelled!r}")
+    try:
+        batch, input_len, output_len = (int(part) for part in parts)
+    except ValueError:
+        raise ConfigurationError(
+            f"--shape wants three integers, got {spelled!r}") from None
+    return InferenceRequest(batch, input_len, output_len)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import (MultiReplicaSimulator, WorkloadVector,
+                               plan_replicas)
+
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False)
+    shapes = ([_parse_shape(spelled) for spelled in args.shape]
+              or [InferenceRequest(*shape)
+                  for shape in _SERVE_DEFAULT_SHAPES])
+    workload = WorkloadVector.sample_mix(shapes, args.num_requests,
+                                         seed=args.seed)
+    streaming = True if args.streaming else None
+
+    if args.slo_p95 > 0.0:
+        plan, report = plan_replicas(
+            spec, workload, args.slo_p95, system_name=args.system,
+            arrival_rate_per_s=args.rate, config=config,
+            seed=args.seed, dispatch=args.dispatch)
+        n_replicas = plan.n_replicas
+        print(f"{spec.name} on {system.name}: smallest {args.dispatch} "
+              f"fleet meeting p95 <= {args.slo_p95:g} s is "
+              f"{n_replicas} replica(s) at ${plan.usd_per_hour:.2f}/h")
+    else:
+        n_replicas = args.replicas
+        simulator = MultiReplicaSimulator(
+            LiaEstimator(spec, system, config), n_replicas,
+            dispatch=args.dispatch)
+        report = simulator.run_poisson(workload, args.rate,
+                                       seed=args.seed,
+                                       streaming=streaming)
+
+    mode = "streaming" if args.streaming else "exact"
+    print(f"served {report.n_served:,} requests on {n_replicas} "
+          f"replica(s), {args.dispatch} dispatch "
+          f"({mode} percentiles)")
+    p50 = report.latency_percentile(0.50)
+    p95 = report.latency_percentile(0.95)
+    p99 = report.latency_percentile(0.99)
+    print(f"  p50/p95/p99  : {p50:.3f} / {p95:.3f} / {p99:.3f} s")
+    print(f"  queue delay  : {report.mean_queue_delay:.3f} s mean")
+    print(f"  makespan     : {report.makespan:.3f} s "
+          f"(fleet utilization {report.utilization:.1%})")
+    print(f"  throughput   : {report.throughput_tokens_per_s:.2f} "
+          f"tokens/s")
+    per_replica = ", ".join(
+        f"[{replica}] {utilization:.1%}"
+        for replica, utilization in zip(report.replica_ids,
+                                        report.replica_utilizations))
+    if n_replicas > 1:
+        print(f"  per-replica  : {per_replica}")
+
+    if args.json:
+        import json
+
+        payload = {
+            "model": spec.name, "system": system.name,
+            "num_requests": args.num_requests, "rate_per_s": args.rate,
+            "seed": args.seed, "replicas": n_replicas,
+            "dispatch": args.dispatch, "streaming": bool(args.streaming),
+            "shapes": [[request.batch_size, request.input_len,
+                        request.output_len] for request in shapes],
+            "slo_p95_s": args.slo_p95 or None,
+            "percentiles": {"p50": p50, "p95": p95, "p99": p99},
+            "mean_queue_delay_s": report.mean_queue_delay,
+            "makespan_s": report.makespan,
+            "utilization": report.utilization,
+            "throughput_tokens_per_s": report.throughput_tokens_per_s,
+            "replica_utilizations": dict(
+                zip(map(str, report.replica_ids),
+                    report.replica_utilizations)),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import default_drivers, to_csv
 
@@ -533,6 +661,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as error:

@@ -12,11 +12,24 @@ needs the two wrappers this package provides:
 * :mod:`repro.serving.planner` — pick the cheapest system that meets
   a latency SLO for a workload (the §7.6/§7.8 decision problem as an
   API).
+* :mod:`repro.serving.vectorized` — the million-request array
+  engine: exact Lindley-recursion timelines, columnar workloads, and
+  array-backed reports, bit-identical to the loop path.
+* :mod:`repro.serving.replicas` — k-replica scale-out (round-robin /
+  least-loaded dispatch) and SLO-driven fleet sizing.
 """
 
 from repro.serving.batcher import Batch, pack_requests
-from repro.serving.simulator import ServedRequest, ServingReport, ServingSimulator
-from repro.serving.planner import PlanChoice, choose_system
+from repro.serving.planner import (PlanChoice, ReplicaPlan,
+                                   choose_system, plan_replicas)
+from repro.serving.replicas import (MultiReplicaSimulator,
+                                    ScaleOutReport, replicas_needed)
+from repro.serving.simulator import (ServedRequest, ServingReport,
+                                     ServingSimulator, arrivals_poisson,
+                                     validate_arrivals)
+from repro.serving.vectorized import (VectorizedServingReport,
+                                      WorkloadVector, lindley_timeline,
+                                      run_vectorized)
 
 __all__ = [
     "Batch",
@@ -24,6 +37,17 @@ __all__ = [
     "ServedRequest",
     "ServingReport",
     "ServingSimulator",
+    "arrivals_poisson",
+    "validate_arrivals",
     "PlanChoice",
+    "ReplicaPlan",
     "choose_system",
+    "plan_replicas",
+    "MultiReplicaSimulator",
+    "ScaleOutReport",
+    "replicas_needed",
+    "VectorizedServingReport",
+    "WorkloadVector",
+    "lindley_timeline",
+    "run_vectorized",
 ]

@@ -39,7 +39,7 @@ from repro.faults.injector import FaultInjector, FaultSignature
 from repro.faults.spec import FaultScenario
 from repro.models.workload import InferenceRequest
 from repro.serving.simulator import (ServedRequest, ServingReport,
-                                     ServingSimulator)
+                                     ServingSimulator, validate_arrivals)
 from repro.telemetry.bridge import (serving_report_to_metrics,
                                     serving_report_to_spans)
 from repro.telemetry.runtime import Telemetry
@@ -365,7 +365,10 @@ def run_degraded(simulator: ServingSimulator,
     The loop mirrors :meth:`ServingSimulator.run` exactly — same
     start/finish arithmetic, same shape memoization — and layers the
     three degradation mechanisms on top, so an idle scenario yields a
-    bit-identical timeline.  Distinct request shapes are pre-estimated
+    bit-identical timeline.  Fault scenarios keep this per-request
+    loop (every admission/retry/re-solve decision is stateful); idle
+    scenarios never reach it — ``run`` routes them through the plain
+    path, which vectorizes large runs.  Distinct request shapes are pre-estimated
     through :func:`repro.experiments.runner.run_sweep`; the runner
     returns results in input order, so ``REPRO_SWEEP_WORKERS`` cannot
     change any outcome.
@@ -373,8 +376,7 @@ def run_degraded(simulator: ServingSimulator,
     if len(requests) != len(arrivals):
         raise ConfigurationError(
             "requests and arrivals must have equal length")
-    if list(arrivals) != sorted(arrivals):
-        raise ConfigurationError("arrivals must be non-decreasing")
+    validate_arrivals(arrivals)
     telemetry = simulator._active_telemetry()
     controller = DegradationController(simulator, scenario, telemetry)
 

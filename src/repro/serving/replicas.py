@@ -1,0 +1,282 @@
+"""Multi-replica scale-out over the vectorized serving engine.
+
+The paper's Fig. 10/11 latencies answer "how fast is one box"; a
+capacity planner asks "how many boxes".  This module simulates ``k``
+independent single-server replicas behind a dispatcher:
+
+* ``round-robin`` — request *i* goes to replica ``i mod k``.  Each
+  replica's sub-stream is still sorted by arrival, so every replica
+  timeline is one vectorized Lindley recursion; a million requests
+  over 8 replicas is 8 array scans.
+* ``least-loaded`` — each request joins the replica that frees up
+  earliest (join-earliest-free, the G/G/k discipline).  The decision
+  depends on every earlier finish, so assignment is inherently
+  sequential: an O(n log k) heap walk that still avoids per-request
+  object churn.
+
+:func:`replicas_needed` binary-searches the smallest fleet meeting a
+p95 SLO — the paper-faithful "how many A100 boxes do I need" sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.estimator import LiaEstimator
+from repro.errors import CapacityError, ConfigurationError
+from repro.models.workload import InferenceRequest
+from repro.serving.simulator import (ServingSimulator, arrivals_poisson,
+                                     validate_arrivals)
+from repro.serving.vectorized import (VectorizedServingReport,
+                                      WorkloadVector, lindley_timeline,
+                                      shape_services)
+from repro.telemetry.runtime import Telemetry
+
+DISPATCH_POLICIES = ("round-robin", "least-loaded")
+
+
+@dataclass
+class ScaleOutReport:
+    """One fleet simulation: merged stats plus per-replica views.
+
+    ``merged`` holds the full timeline in global arrival order, so
+    latency percentiles, queue delays, and throughput read exactly
+    like a single-server report.  ``utilization`` is normalized by
+    the fleet size (busy replica-seconds over ``k * makespan``).
+    """
+
+    merged: VectorizedServingReport
+    per_replica: Tuple[VectorizedServingReport, ...]
+    #: The replica id behind each ``per_replica`` entry (replicas
+    #: that served nothing — possible when k > n — are omitted).
+    replica_ids: Tuple[int, ...]
+    assignment: np.ndarray
+    dispatch: str
+    n_replicas: int
+
+    @property
+    def n_served(self) -> int:
+        return self.merged.n_served
+
+    @property
+    def makespan(self) -> float:
+        return self.merged.makespan
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return self.merged.throughput_tokens_per_s
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.merged.mean_queue_delay
+
+    def latency_percentile(self, fraction: float) -> float:
+        return self.merged.latency_percentile(fraction)
+
+    @property
+    def replica_utilizations(self) -> List[float]:
+        return [report.utilization for report in self.per_replica]
+
+    @property
+    def utilization(self) -> float:
+        busy = float(np.add.accumulate(
+            self.merged.service_times)[-1])
+        makespan = self.makespan
+        return (busy / (self.n_replicas * makespan)
+                if makespan else 0.0)
+
+
+class MultiReplicaSimulator:
+    """``k`` independent FIFO replicas behind one dispatcher."""
+
+    def __init__(self, estimator: LiaEstimator, n_replicas: int,
+                 dispatch: str = "round-robin",
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError(
+                f"n_replicas must be >= 1, got {n_replicas}")
+        if dispatch not in DISPATCH_POLICIES:
+            raise ConfigurationError(
+                f"dispatch must be one of {DISPATCH_POLICIES}, "
+                f"got {dispatch!r}")
+        self.estimator = estimator
+        self.n_replicas = n_replicas
+        self.dispatch = dispatch
+        self._simulator = ServingSimulator(estimator,
+                                           telemetry=telemetry)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Union[Sequence[InferenceRequest],
+                                  WorkloadVector],
+            arrivals: Sequence[float],
+            streaming: Optional[bool] = None) -> ScaleOutReport:
+        workload = (requests if isinstance(requests, WorkloadVector)
+                    else WorkloadVector.from_requests(requests))
+        trace = validate_arrivals(arrivals)
+        if trace.size != workload.n_requests:
+            raise ConfigurationError(
+                "requests and arrivals must have equal length")
+        if trace.size == 0:
+            raise ConfigurationError(
+                "workload must contain requests")
+        telemetry = self._simulator._active_telemetry()
+        services = shape_services(self._simulator, workload, telemetry)
+        n = trace.size
+        starts = np.empty(n)
+        finishes = np.empty(n)
+        if self.dispatch == "round-robin":
+            assignment = np.arange(n, dtype=np.int64) % self.n_replicas
+            for replica in range(self.n_replicas):
+                index = np.flatnonzero(assignment == replica)
+                if index.size == 0:
+                    continue
+                sub_starts, sub_finishes = lindley_timeline(
+                    trace[index], services[index])
+                starts[index] = sub_starts
+                finishes[index] = sub_finishes
+        else:
+            assignment = self._assign_least_loaded(
+                trace, services, starts, finishes)
+        merged = VectorizedServingReport(workload, trace, starts,
+                                         finishes, streaming=streaming)
+        per_replica = []
+        replica_ids = []
+        for replica in range(self.n_replicas):
+            index = np.flatnonzero(assignment == replica)
+            if index.size == 0:
+                continue
+            replica_ids.append(replica)
+            per_replica.append(VectorizedServingReport(
+                workload.subset(index), trace[index], starts[index],
+                finishes[index], streaming=streaming))
+        report = ScaleOutReport(merged=merged,
+                                per_replica=tuple(per_replica),
+                                replica_ids=tuple(replica_ids),
+                                assignment=assignment,
+                                dispatch=self.dispatch,
+                                n_replicas=self.n_replicas)
+        if telemetry is not None:
+            self._emit_telemetry(report, telemetry)
+        return report
+
+    def run_poisson(self, requests: Union[Sequence[InferenceRequest],
+                                          WorkloadVector],
+                    rate_per_s: float, seed: int = 0,
+                    streaming: Optional[bool] = None) -> ScaleOutReport:
+        n_requests = (requests.n_requests
+                      if isinstance(requests, WorkloadVector)
+                      else len(requests))
+        arrivals = arrivals_poisson(n_requests, rate_per_s, seed=seed)
+        return self.run(requests, arrivals, streaming=streaming)
+
+    # ------------------------------------------------------------------
+    def _assign_least_loaded(self, arrivals: np.ndarray,
+                             services: np.ndarray, starts: np.ndarray,
+                             finishes: np.ndarray) -> np.ndarray:
+        """Join-earliest-free assignment; fills the timeline in place.
+
+        Ties break toward the lowest replica id, so the walk is fully
+        deterministic.
+        """
+        n = arrivals.size
+        assignment = np.empty(n, dtype=np.int64)
+        heap = [(0.0, replica) for replica in range(self.n_replicas)]
+        heapq.heapify(heap)
+        arrival_list = arrivals.tolist()
+        service_list = services.tolist()
+        for i in range(n):
+            free_at, replica = heapq.heappop(heap)
+            arrival = arrival_list[i]
+            start = arrival if arrival >= free_at else free_at
+            finish = start + service_list[i]
+            heapq.heappush(heap, (finish, replica))
+            assignment[i] = replica
+            starts[i] = start
+            finishes[i] = finish
+        return assignment
+
+    def _emit_telemetry(self, report: ScaleOutReport,
+                        telemetry: Telemetry) -> None:
+        from repro.telemetry.bridge import (vectorized_report_to_metrics,
+                                            vectorized_report_to_spans)
+
+        system = self.estimator.system.name
+        model = self.estimator.spec.name
+        vectorized_report_to_metrics(report.merged, telemetry.metrics,
+                                     system=system, model=model)
+        telemetry.metrics.gauge(
+            "serving.replicas", system=system, model=model).set(
+                report.n_replicas)
+        for replica, sub_report in zip(report.replica_ids,
+                                       report.per_replica):
+            telemetry.metrics.gauge(
+                "serving.replica_utilization", system=system,
+                model=model, replica=str(replica)).set(
+                    sub_report.utilization)
+        spans, dropped = vectorized_report_to_spans(report.merged)
+        assignment = report.assignment.tolist()
+        for span in spans:
+            index = int(span.name[len("request["):-1])
+            track = (f"{span.track}[{assignment[index]}]")
+            telemetry.tracer.add_span(span.name, track, span.start,
+                                      span.finish, **span.args)
+        if dropped:
+            telemetry.metrics.counter(
+                "serving.spans_dropped", system=system,
+                model=model).inc(dropped)
+
+
+def replicas_needed(estimator: LiaEstimator,
+                    requests: Union[Sequence[InferenceRequest],
+                                    WorkloadVector],
+                    arrivals: Sequence[float], slo_p95_seconds: float,
+                    dispatch: str = "round-robin",
+                    max_replicas: int = 1024
+                    ) -> Tuple[int, ScaleOutReport]:
+    """Smallest fleet whose merged p95 meets the SLO.
+
+    Doubles the fleet until feasible, then binary-searches the gap
+    (queueing delay shrinks as replicas are added, so p95 is
+    monotone in ``k`` for FIFO dispatch).  Raises
+    :class:`CapacityError` when even ``max_replicas`` misses the SLO
+    — the service time alone exceeds it, so no fleet can help.
+    """
+    if slo_p95_seconds <= 0.0:
+        raise ConfigurationError("slo_p95_seconds must be positive")
+    workload = (requests if isinstance(requests, WorkloadVector)
+                else WorkloadVector.from_requests(requests))
+    trace = validate_arrivals(arrivals)
+
+    def evaluate(k: int) -> Tuple[float, ScaleOutReport]:
+        report = MultiReplicaSimulator(
+            estimator, k, dispatch=dispatch).run(workload, trace)
+        return report.latency_percentile(0.95), report
+
+    low = 1
+    p95, report = evaluate(low)
+    if p95 <= slo_p95_seconds:
+        return low, report
+    high = low
+    while p95 > slo_p95_seconds:
+        if high >= max_replicas:
+            raise CapacityError(
+                f"p95 {p95:.1f}s still exceeds the {slo_p95_seconds:.1f}s "
+                f"SLO at {max_replicas} replicas; the per-request "
+                "service time alone violates the SLO")
+        low = high
+        high = min(max_replicas, high * 2)
+        p95, report = evaluate(high)
+    best = (high, report)
+    while high - low > 1:
+        mid = (low + high) // 2
+        p95, mid_report = evaluate(mid)
+        if p95 <= slo_p95_seconds:
+            high = mid
+            best = (mid, mid_report)
+        else:
+            low = mid
+    return best

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.estimator import LiaEstimator
 from repro.errors import ConfigurationError
@@ -20,10 +22,56 @@ from repro.models.workload import InferenceRequest
 
 if TYPE_CHECKING:
     from repro.faults.spec import FaultScenario
+    from repro.serving.vectorized import WorkloadVector
 from repro.telemetry.bridge import (serving_report_to_metrics,
                                     serving_report_to_spans)
 from repro.telemetry.runtime import Telemetry
 from repro.telemetry.runtime import current as current_telemetry
+
+
+def validate_arrivals(arrivals: Sequence[float]) -> np.ndarray:
+    """Check an arrival trace in one vectorized pass.
+
+    Returns the trace as a float64 numpy array (the vectorized path
+    consumes it directly; the loop path only validates).  Rejects NaN
+    timestamps and any decreasing step — the previous
+    ``list(arrivals) != sorted(arrivals)`` check was O(n log n) and
+    silently order-dependent in the presence of NaN.
+    """
+    trace = np.asarray(arrivals, dtype=np.float64)
+    if trace.ndim != 1:
+        raise ConfigurationError(
+            f"arrivals must be a flat sequence, got {trace.ndim} "
+            "dimensions")
+    if trace.size and bool(np.isnan(trace).any()):
+        raise ConfigurationError("arrivals must not contain NaN")
+    if trace.size > 1 and bool((trace[1:] < trace[:-1]).any()):
+        raise ConfigurationError("arrivals must be non-decreasing")
+    return trace
+
+
+def arrivals_poisson(n_requests: int, rate_per_s: float,
+                     seed: int = 0) -> List[float]:
+    """Seeded Poisson arrival timestamps (``n_requests`` of them).
+
+    One ``random.Random(seed)`` stream of exponential gaps — the
+    exact generator :meth:`ServingSimulator.run_poisson` has always
+    used, extracted so the degraded path, the ``serve`` CLI, and the
+    serving benchmark all share one byte-identical arrival process.
+    """
+    if n_requests < 0:
+        raise ConfigurationError(
+            f"n_requests must be >= 0, got {n_requests}")
+    if rate_per_s <= 0.0:
+        raise ConfigurationError(
+            f"rate_per_s must be positive, got {rate_per_s}")
+    rng = random.Random(seed)
+    arrivals = []
+    clock = 0.0
+    for __ in range(n_requests):
+        clock += rng.expovariate(rate_per_s)
+        arrivals.append(clock)
+    return arrivals
 
 
 @dataclass(frozen=True)
@@ -53,6 +101,11 @@ class ServingReport:
     """Aggregate statistics of one simulated serving run."""
 
     served: List[ServedRequest]
+    #: Lazily computed sorted latency vector.  Degradation and the
+    #: planner query p50/p95/p99 back-to-back on one report; sorting
+    #: once instead of per call turns three O(n log n) passes into one.
+    _sorted_latencies: Optional[List[float]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.served:
@@ -85,7 +138,10 @@ class ServingReport:
         if not 0.0 < fraction <= 1.0:
             raise ConfigurationError(
                 f"fraction must be in (0, 1], got {fraction}")
-        ordered = sorted(r.latency for r in self.served)
+        if self._sorted_latencies is None:
+            self._sorted_latencies = sorted(
+                r.latency for r in self.served)
+        ordered = self._sorted_latencies
         rank = min(len(ordered), max(1, math.ceil(fraction * len(ordered))))
         return ordered[rank - 1]
 
@@ -107,14 +163,27 @@ class ServingSimulator:
                  telemetry: Optional[Telemetry] = None) -> None:
         self.estimator = estimator
         self._telemetry = telemetry
+        #: Cross-run shape -> service-latency cache for the vectorized
+        #: path.  The estimator is pure in the request (the same
+        #: assumption the loop's per-run memoization makes), so the
+        #: mapping never goes stale for a fixed estimator.
+        self._service_latency_cache: Dict[InferenceRequest, float] = {}
 
     def _active_telemetry(self) -> Optional[Telemetry]:
         return (self._telemetry if self._telemetry is not None
                 else current_telemetry())
 
-    def run(self, requests: Sequence[InferenceRequest],
+    #: ``run(vectorized=None)`` switches to the vectorized engine at
+    #: this many requests; below it the loop path is just as fast and
+    #: returns the familiar materialized report.
+    AUTO_VECTORIZE_MIN_REQUESTS = 4096
+
+    def run(self, requests: Union[Sequence[InferenceRequest],
+                                  "WorkloadVector"],
             arrivals: Sequence[float],
-            scenario: Optional["FaultScenario"] = None) -> ServingReport:
+            scenario: Optional["FaultScenario"] = None,
+            vectorized: Optional[bool] = None,
+            streaming: Optional[bool] = None) -> ServingReport:
         """Serve ``requests`` arriving at ``arrivals`` (seconds).
 
         ``scenario`` switches to the fault-injected loop of
@@ -122,16 +191,44 @@ class ServingSimulator:
         scenario (no fault windows, no admission bound) — takes the
         plain path below, so enabling the fault layer without faults
         is bit-for-bit identical to not having it.
+
+        ``requests`` may be a columnar
+        :class:`~repro.serving.vectorized.WorkloadVector` instead of a
+        request list; those always take the vectorized path (their
+        point is avoiding per-request Python objects).  ``vectorized``
+        forces the engine choice; the default picks the loop for small
+        runs and the Lindley-recursion array engine — bit-identical by
+        contract — from :data:`AUTO_VECTORIZE_MIN_REQUESTS` up.
+        ``streaming`` forces (True) or forbids (False) streaming
+        percentiles on the vectorized report.
         """
+        from repro.serving.vectorized import WorkloadVector, run_vectorized
+
+        columnar = isinstance(requests, WorkloadVector)
         if scenario is not None and not scenario.idle:
             from repro.serving.degradation import run_degraded
 
+            if columnar:
+                requests = requests.to_requests()
             return run_degraded(self, requests, arrivals, scenario)
-        if len(requests) != len(arrivals):
+        n_requests = (requests.n_requests if columnar
+                      else len(requests))
+        if n_requests != len(arrivals):
             raise ConfigurationError(
                 "requests and arrivals must have equal length")
-        if list(arrivals) != sorted(arrivals):
-            raise ConfigurationError("arrivals must be non-decreasing")
+        if vectorized is None:
+            vectorized = (columnar
+                          or n_requests >= self.AUTO_VECTORIZE_MIN_REQUESTS)
+        if vectorized:
+            workload = (requests if columnar
+                        else WorkloadVector.from_requests(requests))
+            # run_vectorized validates the trace itself — one pass,
+            # not two.
+            return run_vectorized(self, workload, arrivals,
+                                  streaming=streaming)
+        validate_arrivals(arrivals)
+        if columnar:
+            requests = requests.to_requests()
         served: List[ServedRequest] = []
         free_at = 0.0
         telemetry = self._active_telemetry()
@@ -167,18 +264,16 @@ class ServingSimulator:
                                           **span.args)
         return report
 
-    def run_poisson(self, requests: Sequence[InferenceRequest],
+    def run_poisson(self, requests: Union[Sequence[InferenceRequest],
+                                          "WorkloadVector"],
                     rate_per_s: float, seed: int = 0,
-                    scenario: Optional["FaultScenario"] = None
-                    ) -> ServingReport:
+                    scenario: Optional["FaultScenario"] = None,
+                    vectorized: Optional[bool] = None,
+                    streaming: Optional[bool] = None) -> ServingReport:
         """Serve with Poisson arrivals at ``rate_per_s`` (seeded)."""
-        if rate_per_s <= 0.0:
-            raise ConfigurationError(
-                f"rate_per_s must be positive, got {rate_per_s}")
-        rng = random.Random(seed)
-        arrivals = []
-        clock = 0.0
-        for __ in requests:
-            clock += rng.expovariate(rate_per_s)
-            arrivals.append(clock)
-        return self.run(requests, arrivals, scenario=scenario)
+        n_requests = (requests.n_requests
+                      if hasattr(requests, "n_requests")
+                      else len(requests))
+        arrivals = arrivals_poisson(n_requests, rate_per_s, seed=seed)
+        return self.run(requests, arrivals, scenario=scenario,
+                        vectorized=vectorized, streaming=streaming)

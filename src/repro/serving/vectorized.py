@@ -1,0 +1,569 @@
+"""Vectorized million-request serving engine.
+
+The FIFO recurrence the loop in :mod:`repro.serving.simulator` walks,
+
+.. math::
+
+    f_i = \\max(a_i, f_{i-1}) + s_i,
+
+is a Lindley recursion: subtracting the service-time prefix sum
+``S_i = s_0 + ... + s_i`` turns it into a running maximum,
+
+.. math::
+
+    f_i = S_i + \\max_{j \\le i} (a_j - S_{j-1}),
+
+so the whole timeline is one ``np.maximum.accumulate`` over
+``arrivals - shifted_cumsum(services)`` — no Python loop.
+
+**Bit-identity is the contract**, and the algebraic form above does
+not honor it by itself: float addition is not associative, so
+``S_i + (a_j - S_{j-1})`` can differ from the loop's left-to-right
+sum in the last ulp.  :func:`lindley_timeline` therefore uses the
+algebraic pass only to *locate busy periods* (maximal runs of
+back-to-back requests), then replays each busy period with
+``np.add.accumulate`` — a strictly sequential left fold in numpy, so
+every addition happens in exactly the order the loop performs it —
+and verifies the busy-period boundaries against the exact finishes,
+refining until they reach a fixed point.  At the fixed point the
+result provably equals the loop's output bit for bit (induction over
+requests: every branch decision and every float op matches).
+
+Around the recursion:
+
+* :class:`WorkloadVector` — a columnar workload (unique request
+  shapes + an int code per arrival) so million-request runs never
+  materialize a million ``InferenceRequest`` objects.
+* batched shape estimation — one ``LiaEstimator.estimate`` per
+  *distinct* shape via the deterministic parallel sweep runner, then
+  a vectorized gather back onto arrivals.
+* :class:`VectorizedServingReport` — the array-backed report: exact
+  (sorted-array) percentiles below a size threshold, a
+  :class:`~repro.telemetry.metrics.StreamingHistogram` above it, and
+  lazy ``ServedRequest`` materialization for consumers that want the
+  classic view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_sweep
+from repro.models.workload import InferenceRequest
+from repro.serving.simulator import (ServedRequest, ServingReport,
+                                     ServingSimulator, validate_arrivals)
+from repro.telemetry.runtime import Telemetry
+
+#: Busy periods longer than this use one ``np.add.accumulate`` each;
+#: shorter ones are replayed position-by-position, vectorized across
+#: all short periods at once.  sqrt-ish split: Python-level call count
+#: is bounded by ``_LONG_SEGMENT + n / _LONG_SEGMENT``.
+_LONG_SEGMENT = 64
+
+#: Boundary refinements before falling back to the exact Python loop.
+#: Each refinement strictly extends the provably-correct prefix, and
+#: in practice the first algebraic guess is already the fixed point.
+_MAX_REFINEMENTS = 60
+
+#: Above this many served requests, ``latency_percentile`` answers
+#: from a streaming histogram (~2% relative error) instead of sorting
+#: the latency vector exactly.
+DEFAULT_EXACT_PERCENTILE_LIMIT = 262_144
+
+#: Per-request span emission cap for vectorized runs: the first this
+#: many requests get the same ``server``/``queue`` spans the loop
+#: emits; the rest are counted in ``serving.spans_dropped``.
+DEFAULT_SPAN_CAP = 1024
+
+
+# ----------------------------------------------------------------------
+# Columnar workloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class WorkloadVector:
+    """A request stream as unique shapes plus one int code per arrival.
+
+    The loop path's per-request cost is dominated by touching a
+    million Python objects; a columnar workload keeps the shapes
+    (rarely more than a handful) as real :class:`InferenceRequest`
+    objects and the stream as a numpy int array.
+    """
+
+    shapes: Tuple[InferenceRequest, ...]
+    codes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not self.shapes:
+            raise ConfigurationError(
+                "workload needs at least one request shape")
+        if len(set(self.shapes)) != len(self.shapes):
+            raise ConfigurationError(
+                "workload shapes must be distinct")
+        codes = np.asarray(self.codes, dtype=np.int64)
+        object.__setattr__(self, "codes", codes)
+        if codes.ndim != 1:
+            raise ConfigurationError(
+                f"codes must be a flat array, got {codes.ndim} "
+                "dimensions")
+        if codes.size and (int(codes.min()) < 0
+                           or int(codes.max()) >= len(self.shapes)):
+            raise ConfigurationError(
+                f"codes must index into {len(self.shapes)} shapes")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requests(cls, requests: Sequence[InferenceRequest]
+                      ) -> "WorkloadVector":
+        """Encode a request list; shapes keep first-occurrence order
+        (the same order the loop path estimates them in)."""
+        order: dict = {}
+        codes = np.fromiter(
+            (order.setdefault(request, len(order))
+             for request in requests),
+            dtype=np.int64, count=len(requests))
+        if not order:
+            raise ConfigurationError(
+                "workload needs at least one request")
+        return cls(shapes=tuple(order), codes=codes)
+
+    @classmethod
+    def sample_mix(cls, shapes: Sequence[InferenceRequest],
+                   n_requests: int, seed: int = 0,
+                   weights: Optional[Sequence[float]] = None
+                   ) -> "WorkloadVector":
+        """A seeded i.i.d. mix of ``shapes`` (optionally weighted)."""
+        if n_requests < 1:
+            raise ConfigurationError(
+                f"n_requests must be >= 1, got {n_requests}")
+        probabilities = None
+        if weights is not None:
+            if len(weights) != len(shapes):
+                raise ConfigurationError(
+                    "weights and shapes must have equal length")
+            total = float(sum(weights))
+            if total <= 0.0 or any(w < 0.0 for w in weights):
+                raise ConfigurationError(
+                    "weights must be non-negative with a positive sum")
+            probabilities = [w / total for w in weights]
+        rng = np.random.default_rng(seed)
+        codes = rng.choice(len(shapes), size=n_requests,
+                           p=probabilities)
+        return cls(shapes=tuple(shapes),
+                   codes=codes.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return int(self.codes.size)
+
+    def __len__(self) -> int:
+        return self.n_requests
+
+    def counts(self) -> np.ndarray:
+        """Arrivals per shape, aligned with ``shapes``.
+
+        Cached: the workload is immutable, and replaying one workload
+        across reports re-asks for the same histogram every run.
+        """
+        cached = self.__dict__.get("_counts")
+        if cached is None:
+            cached = np.bincount(self.codes, minlength=len(self.shapes))
+            object.__setattr__(self, "_counts", cached)
+        return cached
+
+    @property
+    def total_generated_tokens(self) -> int:
+        cached = self.__dict__.get("_total_generated_tokens")
+        if cached is None:
+            tokens = np.array([shape.total_generated_tokens
+                               for shape in self.shapes], dtype=np.int64)
+            cached = int(self.counts() @ tokens)
+            object.__setattr__(self, "_total_generated_tokens", cached)
+        return cached
+
+    def request_at(self, index: int) -> InferenceRequest:
+        return self.shapes[int(self.codes[index])]
+
+    def subset(self, indices: np.ndarray) -> "WorkloadVector":
+        """The sub-stream at ``indices`` (shared shape table)."""
+        return WorkloadVector(shapes=self.shapes,
+                              codes=self.codes[indices])
+
+    def to_requests(self) -> List[InferenceRequest]:
+        """Materialize the classic request list (O(n) objects)."""
+        shapes = self.shapes
+        return [shapes[code] for code in self.codes.tolist()]
+
+
+# ----------------------------------------------------------------------
+# The exact vectorized Lindley recursion
+# ----------------------------------------------------------------------
+def _exact_finishes(arrivals: np.ndarray, services: np.ndarray,
+                    boundaries: np.ndarray,
+                    out: np.ndarray) -> np.ndarray:
+    """Finish times given busy-period ``boundaries``, replaying the
+    loop's exact float-op order within every busy period.  Returns
+    the busy-period start indices (the caller reuses them)."""
+    n = arrivals.size
+    segment_starts = np.flatnonzero(boundaries)
+    # At a busy-period start the loop does one add: a_j + s_j.
+    out[segment_starts] = (arrivals[segment_starts]
+                           + services[segment_starts])
+    lengths = np.diff(np.append(segment_starts, n))
+    long_mask = lengths > _LONG_SEGMENT
+    # Short busy periods advance in lockstep: step k extends every
+    # period longer than k by one request, f_i = f_{i-1} + s_i.
+    # Sorting by length makes the step-k active set a suffix (one
+    # searchsorted + slice per step, no boolean compaction), and the
+    # running finish values stay in a contiguous buffer so each step
+    # gathers only the service column.
+    short_lengths = lengths[~long_mask]
+    # Stable sort: radix for the int lengths, which repeat heavily.
+    order = np.argsort(short_lengths, kind="stable")
+    short_starts = segment_starts[~long_mask][order]
+    short_lengths = short_lengths[order]
+    running = out[short_starts]
+    cut = 0
+    for step in range(1, int(short_lengths[-1]) if short_lengths.size
+                      else 0):
+        new_cut = int(np.searchsorted(short_lengths, step,
+                                      side="right"))
+        if new_cut != cut:
+            running = running[new_cut - cut:]
+            short_starts = short_starts[new_cut - cut:]
+            cut = new_cut
+        index = short_starts + step
+        np.add(running, services[index], out=running)
+        out[index] = running
+    # Long busy periods are one sequential scan each: numpy's
+    # ``add.accumulate`` folds left-to-right, matching the loop.
+    for start, length in zip(segment_starts[long_mask].tolist(),
+                             lengths[long_mask].tolist()):
+        end = start + length
+        out[start + 1:end] = services[start + 1:end]
+        np.add.accumulate(out[start:end], out=out[start:end])
+    return segment_starts
+
+
+def lindley_timeline(arrivals: Sequence[float],
+                     services: Sequence[float]
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """(starts, finishes) of the FIFO timeline, bit-identical to the
+    request loop ``start = max(arrival, free_at); finish = start + s``.
+
+    The algebraic Lindley pass (cumsum + running max) locates the
+    busy periods; each is then replayed with the loop's exact op
+    order, and the boundaries are verified against the exact finishes
+    until they are a fixed point (almost always immediately).
+    """
+    a = np.asarray(arrivals, dtype=np.float64)
+    s = np.asarray(services, dtype=np.float64)
+    if a.shape != s.shape or a.ndim != 1:
+        raise ConfigurationError(
+            "arrivals and services must be equal-length flat arrays")
+    n = a.size
+    if n == 0:
+        return np.empty(0), np.empty(0)
+    # The loop seeds free_at = 0.0, so the first start is clamped.
+    if a[0] < 0.0:
+        a = a.copy()
+        a[0] = 0.0
+    cumulative = np.add.accumulate(s)
+    # slack_i = a_i - S_{i-1}; its running max plus S_i is the
+    # algebraic finish estimate.  The boundary guess
+    # ``a_{i+1} >= S_i + runmax_i`` is evaluated in slack space as
+    # ``slack_{i+1} >= runmax_i`` — one subtraction per element less,
+    # and any rounding disagreement with the exact form only perturbs
+    # the *guess*, which the fixed-point verification repairs.
+    slack = np.empty(n)
+    slack[0] = a[0]
+    np.subtract(a[1:], cumulative[:-1], out=slack[1:])
+    running_max = np.maximum.accumulate(slack)
+    boundaries = np.empty(n, dtype=bool)
+    boundaries[0] = True
+    np.greater_equal(slack[1:], running_max[:-1], out=boundaries[1:])
+    finishes = np.empty(n)
+    for __ in range(_MAX_REFINEMENTS):
+        segment_starts = _exact_finishes(a, s, boundaries, out=finishes)
+        check = np.empty(n, dtype=bool)
+        check[0] = True
+        np.greater_equal(a[1:], finishes[:-1], out=check[1:])
+        if np.array_equal(check, boundaries):
+            starts = np.empty(n)
+            starts[0] = a[0]
+            starts[1:] = finishes[:-1]
+            starts[segment_starts] = a[segment_starts]
+            return starts, finishes
+        boundaries = check
+    # Pathological rounding fence-sitting: replay the exact loop.
+    starts = np.empty(n)
+    arrival_list = a.tolist()
+    service_list = s.tolist()
+    free_at = 0.0
+    for i in range(n):
+        start = arrival_list[i] if arrival_list[i] >= free_at else free_at
+        free_at = start + service_list[i]
+        starts[i] = start
+        finishes[i] = free_at
+    return starts, finishes
+
+
+# ----------------------------------------------------------------------
+# Array-backed report
+# ----------------------------------------------------------------------
+class VectorizedServingReport:
+    """A :class:`ServingReport` over arrays instead of objects.
+
+    Exposes the same statistics API (``makespan``, ``utilization``,
+    ``throughput_tokens_per_s``, ``mean_queue_delay``,
+    ``latency_percentile``); every scalar folds floats in the same
+    order as the loop report, so the numbers are bit-identical.
+    Percentiles are exact (one lazy ``np.sort``) up to
+    ``exact_percentile_limit`` served requests and answered from a
+    streaming histogram beyond it; ``streaming=True`` forces the
+    histogram, ``streaming=False`` forces the exact sort.
+
+    ``served`` materializes the classic ``ServedRequest`` list on
+    first access — an O(n) object build, intended for small runs and
+    equivalence tests, not the million-request path.
+    """
+
+    def __init__(self, workload: WorkloadVector, arrivals: np.ndarray,
+                 starts: np.ndarray, finishes: np.ndarray,
+                 streaming: Optional[bool] = None,
+                 exact_percentile_limit: int =
+                 DEFAULT_EXACT_PERCENTILE_LIMIT) -> None:
+        if arrivals.size == 0:
+            raise ConfigurationError("report needs at least one request")
+        if not (arrivals.size == starts.size == finishes.size
+                == workload.n_requests):
+            raise ConfigurationError(
+                "timeline arrays and workload must have equal length")
+        self.workload = workload
+        self.arrivals = arrivals
+        self.starts = starts
+        self.finishes = finishes
+        self._streaming = streaming
+        self.exact_percentile_limit = exact_percentile_limit
+        self._sorted_latencies: Optional[np.ndarray] = None
+        self._histogram = None
+        self._served: Optional[List[ServedRequest]] = None
+        self._makespan: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_served(self) -> int:
+        return int(self.arrivals.size)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return self.finishes - self.arrivals
+
+    @property
+    def queue_delays(self) -> np.ndarray:
+        return self.starts - self.arrivals
+
+    @property
+    def service_times(self) -> np.ndarray:
+        return self.finishes - self.starts
+
+    @property
+    def streaming_percentiles(self) -> bool:
+        """Whether ``latency_percentile`` answers from the histogram."""
+        if self._streaming is not None:
+            return self._streaming
+        return self.n_served > self.exact_percentile_limit
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        if self._makespan is None:
+            self._makespan = float(np.max(self.finishes))
+        return self._makespan
+
+    @property
+    def utilization(self) -> float:
+        # ``np.add.accumulate(...)[-1]`` is the same left fold as the
+        # loop report's ``sum(r.service_time for r in served)``; the
+        # accumulate runs in place on the fresh property array.
+        times = self.service_times
+        busy = float(np.add.accumulate(times, out=times)[-1])
+        return busy / self.makespan if self.makespan else 0.0
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        tokens = self.workload.total_generated_tokens
+        return tokens / self.makespan if self.makespan else 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        delays = self.queue_delays
+        total = float(np.add.accumulate(delays, out=delays)[-1])
+        return total / self.n_served
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank latency percentile (see
+        :meth:`ServingReport.latency_percentile`); exact below the
+        size limit, streaming-histogram estimate above it."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in (0, 1], got {fraction}")
+        if self.streaming_percentiles:
+            return float(self._latency_histogram().quantile(fraction))
+        if self._sorted_latencies is None:
+            ordered = self.latencies  # fresh array; sort in place
+            ordered.sort()
+            self._sorted_latencies = ordered
+        ordered = self._sorted_latencies
+        rank = min(ordered.size,
+                   max(1, math.ceil(fraction * ordered.size)))
+        return float(ordered[rank - 1])
+
+    def summary(self, percentiles: Sequence[float] = (0.50, 0.95, 0.99)
+                ) -> dict:
+        """Every standard statistic in one call.
+
+        Values are the same bits the individual properties return.
+        """
+        result = {
+            "utilization": self.utilization,
+            "mean_queue_delay_s": self.mean_queue_delay,
+            "makespan_s": self.makespan,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+        }
+        for fraction in percentiles:
+            result[f"p{round(fraction * 100)}"] = (
+                self.latency_percentile(fraction))
+        return result
+
+    def _latency_histogram(self):
+        if self._histogram is None:
+            from repro.telemetry.metrics import StreamingHistogram
+
+            histogram = StreamingHistogram("serving.latency_s")
+            histogram.observe_array(self.latencies)
+            self._histogram = histogram
+        return self._histogram
+
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> List[ServedRequest]:
+        if self._served is None:
+            shapes = self.workload.shapes
+            self._served = [
+                ServedRequest(request=shapes[code], arrival=arrival,
+                              start=start, finish=finish)
+                for code, arrival, start, finish in zip(
+                    self.workload.codes.tolist(),
+                    self.arrivals.tolist(), self.starts.tolist(),
+                    self.finishes.tolist())]
+        return self._served
+
+    def materialize(self) -> ServingReport:
+        """The classic list-backed report (O(n) objects)."""
+        return ServingReport(list(self.served))
+
+    def iter_timeline(self) -> Iterator[Tuple[InferenceRequest, float,
+                                              float, float]]:
+        """(shape, arrival, start, finish) rows without building
+        ``ServedRequest`` objects."""
+        shapes = self.workload.shapes
+        for code, arrival, start, finish in zip(
+                self.workload.codes.tolist(), self.arrivals.tolist(),
+                self.starts.tolist(), self.finishes.tolist()):
+            yield shapes[code], arrival, start, finish
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def shape_services(simulator: ServingSimulator,
+                   workload: WorkloadVector,
+                   telemetry: Optional[Telemetry] = None) -> np.ndarray:
+    """Per-arrival service times: one estimate per distinct shape
+    (fanned out over the deterministic sweep runner), scattered back
+    onto the stream.  Counter totals match the loop's memoization:
+    ``computed`` per distinct shape, ``memoized`` per repeat.
+
+    Shapes already estimated by an earlier run on the same simulator
+    come from its service-latency cache — the cross-run analogue of
+    the loop's per-run shape memoization."""
+    from repro.experiments.runner import default_workers
+
+    cache = simulator._service_latency_cache
+    # Shapes the stream never uses (a sampled mix can skip one at
+    # small n) are neither estimated nor counted — exactly like the
+    # loop, which only ever sees shapes that arrive.
+    counts = workload.counts()
+    present = [shape for shape, count
+               in zip(workload.shapes, counts.tolist()) if count]
+    missing = [shape for shape in present if shape not in cache]
+    if missing:
+        estimates = run_sweep(simulator.estimator.estimate, missing,
+                              workers=min(default_workers(),
+                                          len(missing)))
+        for shape, estimate in zip(missing, estimates):
+            cache[shape] = estimate.latency
+    if telemetry is not None:
+        telemetry.metrics.counter(
+            "serving.estimates", result="computed").inc(len(present))
+        repeats = workload.n_requests - len(present)
+        if repeats:
+            telemetry.metrics.counter(
+                "serving.estimates", result="memoized").inc(repeats)
+    latencies = np.array([cache.get(shape, 0.0)
+                          for shape in workload.shapes],
+                         dtype=np.float64)
+    return np.take(latencies, workload.codes)
+
+
+def run_vectorized(simulator: ServingSimulator,
+                   workload: WorkloadVector,
+                   arrivals: Sequence[float],
+                   streaming: Optional[bool] = None,
+                   span_cap: int = DEFAULT_SPAN_CAP,
+                   extra_labels: Optional[dict] = None
+                   ) -> VectorizedServingReport:
+    """Serve ``workload`` at ``arrivals`` through the array engine.
+
+    Emits the same ``serving.*`` metrics and per-request spans as the
+    loop path when telemetry is active; span emission is capped at
+    ``span_cap`` requests, with the overflow counted in
+    ``serving.spans_dropped``.
+    """
+    trace = validate_arrivals(arrivals)
+    if trace.size != workload.n_requests:
+        raise ConfigurationError(
+            "requests and arrivals must have equal length")
+    telemetry = simulator._active_telemetry()
+    services = shape_services(simulator, workload, telemetry)
+    starts, finishes = lindley_timeline(trace, services)
+    report = VectorizedServingReport(workload, trace, starts, finishes,
+                                     streaming=streaming)
+    if telemetry is not None:
+        from repro.telemetry.bridge import (
+            vectorized_report_to_metrics, vectorized_report_to_spans)
+
+        labels = dict(extra_labels or {})
+        vectorized_report_to_metrics(
+            report, telemetry.metrics,
+            system=simulator.estimator.system.name,
+            model=simulator.estimator.spec.name, **labels)
+        spans, dropped = vectorized_report_to_spans(report,
+                                                    cap=span_cap)
+        for span in spans:
+            telemetry.tracer.add_span(span.name, span.track,
+                                      span.start, span.finish,
+                                      **span.args)
+        if dropped:
+            telemetry.metrics.counter(
+                "serving.spans_dropped",
+                system=simulator.estimator.system.name,
+                model=simulator.estimator.spec.name, **labels
+            ).inc(dropped)
+    return report

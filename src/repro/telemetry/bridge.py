@@ -9,7 +9,7 @@ one exporter path serves every subsystem.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.export import spans_to_trace_events
 from repro.telemetry.metrics import MetricsRegistry
@@ -74,6 +74,69 @@ def serving_report_to_metrics(report, metrics: MetricsRegistry,
         tokens.inc(served.request.total_generated_tokens)
     metrics.gauge("serving.utilization", **labels).set(report.utilization)
     metrics.gauge("serving.makespan_s", **labels).set(report.makespan)
+
+
+def vectorized_report_to_metrics(report, metrics: MetricsRegistry,
+                                 system: str = "", model: str = "",
+                                 **extra: str) -> None:
+    """The array-engine twin of :func:`serving_report_to_metrics`.
+
+    Batch-feeds the ``serving.*`` histograms/counters/gauges from the
+    report's timeline arrays; the resulting registry state is
+    bit-identical to the loop path observing every request in order
+    (``StreamingHistogram.observe_array`` folds totals in the same
+    order and re-checks bucket boundaries against ``math.log``).
+    """
+    labels = dict(extra)
+    if system:
+        labels["system"] = system
+    if model:
+        labels["model"] = model
+    metrics.histogram("serving.queue_delay_s",
+                      **labels).observe_array(report.queue_delays)
+    metrics.histogram("serving.service_time_s",
+                      **labels).observe_array(report.service_times)
+    metrics.histogram("serving.latency_s",
+                      **labels).observe_array(report.latencies)
+    metrics.counter("serving.requests", **labels).inc(report.n_served)
+    metrics.counter("serving.generated_tokens", **labels).inc(
+        report.workload.total_generated_tokens)
+    metrics.gauge("serving.utilization",
+                  **labels).set(report.utilization)
+    metrics.gauge("serving.makespan_s", **labels).set(report.makespan)
+
+
+def vectorized_report_to_spans(report,
+                               cap: int = 1024) -> Tuple[List[Span], int]:
+    """Per-request spans for the first ``cap`` requests of an
+    array-backed report, plus the count of requests whose spans were
+    dropped.  Within the cap the spans match
+    :func:`serving_report_to_spans` exactly (same names, tracks,
+    timestamps, and args)."""
+    n = report.n_served
+    emit = n if cap < 0 else min(n, cap)
+    spans: List[Span] = []
+    shapes = report.workload.shapes
+    rows = zip(report.workload.codes[:emit].tolist(),
+               report.arrivals[:emit].tolist(),
+               report.starts[:emit].tolist(),
+               report.finishes[:emit].tolist())
+    for index, (code, arrival, start, finish) in enumerate(rows):
+        name = f"request[{index}]"
+        queue_delay = start - arrival
+        if queue_delay > 0.0:
+            spans.append(Span(name=name, track="queue",
+                              start=arrival, finish=start,
+                              args={"queue_delay_s": queue_delay}))
+        request = shapes[code]
+        spans.append(Span(
+            name=name, track="server",
+            start=start, finish=finish,
+            args={"batch": request.batch_size,
+                  "input_len": request.input_len,
+                  "output_len": request.output_len,
+                  "latency_s": finish - arrival}))
+    return spans, n - emit
 
 
 def serving_report_to_spans(report) -> List[Span]:

@@ -94,6 +94,46 @@ class StreamingHistogram:
         index = math.floor(math.log(value) / math.log(self.GROWTH))
         self._buckets[index] = self._buckets.get(index, 0) + 1
 
+    def observe_array(self, values) -> None:
+        """Batch-observe a numpy array of values.
+
+        Produces *exactly* the state that observing each element in
+        order would: the running total folds left-to-right
+        (``np.add.accumulate`` is a sequential scan, so the float
+        rounding matches), and bucket indices computed with ``np.log``
+        are re-checked with ``math.log`` whenever the quotient sits
+        within 1e-9 of an integer boundary — the only place the two
+        libm implementations could disagree on the floor.
+        """
+        import numpy as np
+
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        if flat.size == 0:
+            return
+        self.total = float(np.add.accumulate(
+            np.concatenate(([self.total], flat)))[-1])
+        self.count += int(flat.size)
+        low = float(flat.min())
+        high = float(flat.max())
+        self.min = low if self.min is None else min(self.min, low)
+        self.max = high if self.max is None else max(self.max, high)
+        positive = flat[flat > 0.0]
+        self._nonpositive += int(flat.size - positive.size)
+        if positive.size == 0:
+            return
+        inv_log_growth = math.log(self.GROWTH)
+        quotient = np.log(positive) / inv_log_growth
+        index = np.floor(quotient)
+        fraction = quotient - index
+        for at in np.flatnonzero((fraction < 1e-9)
+                                 | (fraction > 1.0 - 1e-9)).tolist():
+            index[at] = math.floor(
+                math.log(float(positive[at])) / inv_log_growth)
+        buckets, counts = np.unique(index.astype(np.int64),
+                                    return_counts=True)
+        for bucket, count in zip(buckets.tolist(), counts.tolist()):
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

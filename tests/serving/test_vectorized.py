@@ -1,0 +1,366 @@
+"""Bit-identity and unit tests for the vectorized serving engine.
+
+The contract under test: ``ServingSimulator.run(..., vectorized=True)``
+returns the *same bits* as the per-request loop — timelines,
+percentiles, utilization, queue delay, and the ``serving.*``
+telemetry — for every workload the loop accepts.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import LiaEstimator
+from repro.errors import ConfigurationError
+from repro.models.workload import InferenceRequest
+from repro.serving import (ServingSimulator, VectorizedServingReport,
+                           WorkloadVector, arrivals_poisson,
+                           lindley_timeline, validate_arrivals)
+from repro.telemetry import Telemetry, activate
+
+
+@pytest.fixture
+def simulator(opt_30b, spr_a100, eval_config):
+    return ServingSimulator(LiaEstimator(opt_30b, spr_a100, eval_config))
+
+
+def _fresh_simulator(simulator):
+    """Same estimator, empty cross-run service cache."""
+    return ServingSimulator(simulator.estimator)
+
+
+SHAPE_MIXES = {
+    "single": [InferenceRequest(1, 128, 16)],
+    "tier1": [InferenceRequest(1, 128, 16), InferenceRequest(1, 256, 32),
+              InferenceRequest(1, 512, 32), InferenceRequest(8, 256, 32)],
+    "batched": [InferenceRequest(8, 256, 32), InferenceRequest(16, 128, 16)],
+}
+
+
+def _serving_rows(telemetry):
+    return [row for row in telemetry.metrics.snapshot()
+            if str(row["metric"]).startswith("serving.")]
+
+
+# ----------------------------------------------------------------------
+# The tentpole property: loop == vectorized, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mix", sorted(SHAPE_MIXES))
+@pytest.mark.parametrize("n_requests,rate", [(1, 0.5), (7, 0.05),
+                                             (64, 0.2), (257, 1.0),
+                                             (1000, 0.21)])
+def test_vectorized_bit_identical_to_loop(simulator, mix, n_requests,
+                                          rate):
+    shapes = SHAPE_MIXES[mix]
+    workload = WorkloadVector.sample_mix(shapes, n_requests, seed=7)
+    requests = workload.to_requests()
+    arrivals = arrivals_poisson(n_requests, rate, seed=11)
+
+    loop_telemetry = Telemetry()
+    with activate(loop_telemetry):
+        loop = _fresh_simulator(simulator).run(
+            requests, arrivals, vectorized=False)
+    vec_telemetry = Telemetry()
+    with activate(vec_telemetry):
+        vec = _fresh_simulator(simulator).run(
+            workload, arrivals, vectorized=True, streaming=False)
+
+    assert isinstance(vec, VectorizedServingReport)
+    # Timelines: every start and finish, to the last bit.
+    assert vec.starts.tolist() == [r.start for r in loop.served]
+    assert vec.finishes.tolist() == [r.finish for r in loop.served]
+    # Statistics: the exact floats the loop report computes.
+    for fraction in (0.25, 0.5, 0.95, 0.99, 1.0):
+        assert (vec.latency_percentile(fraction)
+                == loop.latency_percentile(fraction))
+    assert vec.utilization == loop.utilization
+    assert vec.mean_queue_delay == loop.mean_queue_delay
+    assert vec.makespan == loop.makespan
+    assert vec.throughput_tokens_per_s == loop.throughput_tokens_per_s
+    # Telemetry: the serving.* rows agree (the estimator's own
+    # cache.* metrics are process-global and order-dependent, so the
+    # parity contract is scoped to the serving layer).
+    assert _serving_rows(vec_telemetry) == _serving_rows(loop_telemetry)
+
+
+def test_vectorized_estimate_counters_match_loop(simulator):
+    # computed = one per distinct shape, memoized = the repeats —
+    # the loop's memoization totals, reproduced without the loop.
+    shapes = SHAPE_MIXES["tier1"]
+    workload = WorkloadVector.sample_mix(shapes, 100, seed=0)
+    arrivals = arrivals_poisson(100, 0.2, seed=0)
+    telemetry = Telemetry()
+    with activate(telemetry):
+        _fresh_simulator(simulator).run(workload, arrivals,
+                                        vectorized=True)
+    assert telemetry.metrics.counter_value(
+        "serving.estimates", result="computed") == len(shapes)
+    assert telemetry.metrics.counter_value(
+        "serving.estimates", result="memoized") == 100 - len(shapes)
+
+
+def test_vectorized_spans_match_loop_below_cap(simulator):
+    shapes = SHAPE_MIXES["tier1"]
+    workload = WorkloadVector.sample_mix(shapes, 40, seed=3)
+    requests = workload.to_requests()
+    arrivals = arrivals_poisson(40, 0.3, seed=3)
+    loop_telemetry = Telemetry()
+    with activate(loop_telemetry):
+        _fresh_simulator(simulator).run(requests, arrivals,
+                                        vectorized=False)
+    vec_telemetry = Telemetry()
+    with activate(vec_telemetry):
+        _fresh_simulator(simulator).run(workload, arrivals,
+                                        vectorized=True)
+
+    def rows(telemetry):
+        return [(s.name, s.track, s.start, s.finish)
+                for s in telemetry.tracer.spans]
+
+    assert rows(vec_telemetry) == rows(loop_telemetry)
+    assert vec_telemetry.metrics.counter_value(
+        "serving.spans_dropped") == 0.0
+
+
+def test_vectorized_span_cap_counts_overflow(simulator):
+    from repro.serving.vectorized import run_vectorized
+
+    workload = WorkloadVector.sample_mix(
+        SHAPE_MIXES["single"], 50, seed=0)
+    arrivals = arrivals_poisson(50, 0.5, seed=0)
+    telemetry = Telemetry()
+    with activate(telemetry):
+        run_vectorized(simulator, workload, arrivals, span_cap=8)
+    # Spans exist only for the first 8 requests; the other 42 are
+    # counted, not emitted.
+    spanned = {int(s.name[len("request["):-1])
+               for s in telemetry.tracer.spans}
+    assert spanned and max(spanned) <= 7
+    assert telemetry.metrics.counter_value(
+        "serving.spans_dropped",
+        system=simulator.estimator.system.name,
+        model=simulator.estimator.spec.name) == 42.0
+
+
+def test_auto_vectorize_dispatch(simulator):
+    n = ServingSimulator.AUTO_VECTORIZE_MIN_REQUESTS
+    workload = WorkloadVector.sample_mix(SHAPE_MIXES["single"], n,
+                                         seed=0)
+    arrivals = arrivals_poisson(n, 5.0, seed=0)
+    auto = simulator.run(workload.to_requests(), arrivals)
+    assert isinstance(auto, VectorizedServingReport)
+    forced = simulator.run(workload.to_requests()[:4], arrivals[:4])
+    assert not isinstance(forced, VectorizedServingReport)
+    # A columnar workload always takes the array engine.
+    small = WorkloadVector.sample_mix(SHAPE_MIXES["single"], 4, seed=0)
+    assert isinstance(simulator.run(small, arrivals[:4]),
+                      VectorizedServingReport)
+
+
+# ----------------------------------------------------------------------
+# Lindley recursion kernel
+# ----------------------------------------------------------------------
+def _reference_timeline(arrivals, services):
+    starts, finishes = [], []
+    free_at = 0.0
+    for arrival, service in zip(arrivals, services):
+        start = arrival if arrival >= free_at else free_at
+        free_at = start + service
+        starts.append(start)
+        finishes.append(free_at)
+    return starts, finishes
+
+
+@pytest.mark.parametrize("trial", range(25))
+def test_lindley_fuzz_bit_identical(trial):
+    rng = random.Random(trial)
+    n = rng.choice([1, 2, 3, 17, 64, 65, 100, 513])
+    rate = rng.choice([0.05, 0.3, 2.0])
+    arrivals, clock = [], 0.0
+    for __ in range(n):
+        clock += rng.expovariate(rate)
+        arrivals.append(clock)
+    services = [abs(rng.gauss(1.0 / rate, 0.5 / rate)) for __ in range(n)]
+    if trial % 5 == 0:  # zero-service runs stress boundary detection
+        k = min(3, n)
+        services = [0.0] * k + services[k:]
+    starts, finishes = lindley_timeline(np.asarray(arrivals),
+                                        np.asarray(services))
+    ref_starts, ref_finishes = _reference_timeline(arrivals, services)
+    assert starts.tolist() == ref_starts
+    assert finishes.tolist() == ref_finishes
+
+
+def test_lindley_rejects_mismatched_lengths():
+    with pytest.raises(ConfigurationError):
+        lindley_timeline(np.zeros(3), np.zeros(2))
+
+
+# ----------------------------------------------------------------------
+# WorkloadVector
+# ----------------------------------------------------------------------
+def test_workload_round_trip_preserves_order():
+    requests = [InferenceRequest(1, 128, 16), InferenceRequest(8, 256, 32),
+                InferenceRequest(1, 128, 16)]
+    workload = WorkloadVector.from_requests(requests)
+    assert workload.to_requests() == requests
+    assert len(workload) == 3
+    assert workload.shapes == (requests[0], requests[1])
+    assert workload.request_at(2) == requests[0]
+
+
+def test_workload_sample_mix_deterministic():
+    shapes = SHAPE_MIXES["tier1"]
+    a = WorkloadVector.sample_mix(shapes, 100, seed=5)
+    b = WorkloadVector.sample_mix(shapes, 100, seed=5)
+    assert np.array_equal(a.codes, b.codes)
+    c = WorkloadVector.sample_mix(shapes, 100, seed=6)
+    assert not np.array_equal(a.codes, c.codes)
+
+
+def test_workload_counts_and_tokens():
+    shapes = [InferenceRequest(1, 8, 2), InferenceRequest(1, 8, 4)]
+    workload = WorkloadVector(shapes=tuple(shapes),
+                              codes=np.array([0, 1, 1, 0, 1]))
+    assert workload.counts().tolist() == [2, 3]
+    expected = (2 * shapes[0].total_generated_tokens
+                + 3 * shapes[1].total_generated_tokens)
+    assert workload.total_generated_tokens == expected
+    # Cached: the second ask returns the same array object.
+    assert workload.counts() is workload.counts()
+
+
+def test_workload_validation():
+    shape = InferenceRequest(1, 8, 2)
+    with pytest.raises(ConfigurationError, match="at least one"):
+        WorkloadVector(shapes=(), codes=np.array([], dtype=np.int64))
+    with pytest.raises(ConfigurationError, match="distinct"):
+        WorkloadVector(shapes=(shape, shape), codes=np.array([0]))
+    with pytest.raises(ConfigurationError, match="index"):
+        WorkloadVector(shapes=(shape,), codes=np.array([0, 1]))
+    with pytest.raises(ConfigurationError, match="index"):
+        WorkloadVector(shapes=(shape,), codes=np.array([-1]))
+    with pytest.raises(ConfigurationError, match="flat"):
+        WorkloadVector(shapes=(shape,), codes=np.zeros((2, 2), int))
+    with pytest.raises(ConfigurationError):
+        WorkloadVector.sample_mix([shape], 0)
+    with pytest.raises(ConfigurationError, match="weights"):
+        WorkloadVector.sample_mix([shape], 5, weights=[1.0, 2.0])
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        WorkloadVector.sample_mix([shape], 5, weights=[-1.0])
+
+
+def test_workload_subset():
+    workload = WorkloadVector.sample_mix(SHAPE_MIXES["tier1"], 20,
+                                         seed=1)
+    sub = workload.subset(np.arange(0, 20, 2))
+    assert sub.shapes == workload.shapes
+    assert np.array_equal(sub.codes, workload.codes[::2])
+
+
+# ----------------------------------------------------------------------
+# Arrival validation + generation
+# ----------------------------------------------------------------------
+def test_validate_arrivals_rejects_nan():
+    with pytest.raises(ConfigurationError, match="NaN"):
+        validate_arrivals([0.0, float("nan"), 2.0])
+
+
+def test_validate_arrivals_rejects_decreasing_and_2d():
+    with pytest.raises(ConfigurationError, match="non-decreasing"):
+        validate_arrivals([0.0, 2.0, 1.0])
+    with pytest.raises(ConfigurationError, match="flat"):
+        validate_arrivals([[0.0], [1.0]])
+    out = validate_arrivals([0.0, 0.0, 3.0])
+    assert isinstance(out, np.ndarray) and out.dtype == np.float64
+
+
+def test_arrivals_poisson_matches_inline_stream():
+    # Byte-identical to the generator run_poisson always used: one
+    # random.Random(seed) stream of expovariate gaps.
+    rng = random.Random(9)
+    clock, expected = 0.0, []
+    for __ in range(50):
+        clock += rng.expovariate(0.25)
+        expected.append(clock)
+    assert arrivals_poisson(50, 0.25, seed=9) == expected
+    assert arrivals_poisson(0, 1.0) == []
+    with pytest.raises(ConfigurationError):
+        arrivals_poisson(-1, 1.0)
+    with pytest.raises(ConfigurationError):
+        arrivals_poisson(5, 0.0)
+
+
+def test_run_poisson_loop_vs_vectorized(simulator):
+    workload = WorkloadVector.sample_mix(SHAPE_MIXES["tier1"], 200,
+                                         seed=2)
+    loop = simulator.run_poisson(workload.to_requests(), 0.21, seed=2,
+                                 vectorized=False)
+    vec = simulator.run_poisson(workload, 0.21, seed=2)
+    assert vec.starts.tolist() == [r.start for r in loop.served]
+    assert vec.finishes.tolist() == [r.finish for r in loop.served]
+
+
+# ----------------------------------------------------------------------
+# Report behavior
+# ----------------------------------------------------------------------
+def _vector_report(simulator, n, streaming=None, rate=0.5):
+    workload = WorkloadVector.sample_mix(SHAPE_MIXES["tier1"], n, seed=0)
+    arrivals = arrivals_poisson(n, rate, seed=0)
+    return simulator.run(workload, arrivals, streaming=streaming)
+
+
+def test_streaming_percentiles_kick_in_above_limit(simulator):
+    exact = _vector_report(simulator, 64, streaming=False)
+    assert not exact.streaming_percentiles
+    forced = _vector_report(simulator, 64, streaming=True)
+    assert forced.streaming_percentiles
+    # Streaming stays within the histogram's relative-error envelope.
+    for fraction in (0.5, 0.95, 0.99):
+        assert forced.latency_percentile(fraction) == pytest.approx(
+            exact.latency_percentile(fraction), rel=0.05)
+
+
+def test_exact_percentile_sort_is_cached(simulator):
+    report = _vector_report(simulator, 32, streaming=False)
+    report.latency_percentile(0.5)
+    first = report._sorted_latencies
+    assert first is not None
+    report.latency_percentile(0.95)
+    assert report._sorted_latencies is first
+
+
+def test_summary_matches_individual_statistics(simulator):
+    report = _vector_report(simulator, 100, streaming=False)
+    summary = report.summary((0.5, 0.95, 0.99))
+    assert summary["p50"] == report.latency_percentile(0.5)
+    assert summary["p95"] == report.latency_percentile(0.95)
+    assert summary["p99"] == report.latency_percentile(0.99)
+    assert summary["utilization"] == report.utilization
+    assert summary["mean_queue_delay_s"] == report.mean_queue_delay
+    assert summary["makespan_s"] == report.makespan
+    assert (summary["throughput_tokens_per_s"]
+            == report.throughput_tokens_per_s)
+
+
+def test_materialize_round_trip(simulator):
+    report = _vector_report(simulator, 10)
+    classic = report.materialize()
+    assert [r.start for r in classic.served] == report.starts.tolist()
+    assert classic.latency_percentile(0.5) == pytest.approx(
+        report.latency_percentile(0.5))
+    rows = list(report.iter_timeline())
+    assert len(rows) == 10
+    assert rows[0][0] == report.workload.request_at(0)
+
+
+def test_loop_report_percentile_cache(simulator):
+    # Satellite: the classic report sorts its latency vector once.
+    requests = [InferenceRequest(1, 128, 16)] * 5
+    report = simulator.run(requests, [0.0] * 5, vectorized=False)
+    report.latency_percentile(0.5)
+    cached = report._sorted_latencies
+    assert cached is not None
+    report.latency_percentile(0.99)
+    assert report._sorted_latencies is cached

@@ -89,6 +89,8 @@ def test_unknown_model_is_clean_error(capsys):
     ["trace", "--system", "tpu-pod"],
     ["faults", "--model", "gpt-9"],
     ["faults", "--system", "tpu-pod"],
+    ["serve", "--model", "gpt-9"],
+    ["serve", "--system", "tpu-pod"],
 ])
 def test_unknown_names_exit_nonzero_with_one_line_error(capsys, argv):
     """Every subcommand turns unknown zoo names into `error: ...`, not
@@ -264,3 +266,47 @@ def test_sweep_exact_matches_fast(capsys):
     exact_row = [l for l in exact_out.splitlines() if l.lstrip().startswith("1 ")]
     fast_row = [l for l in fast_out.splitlines() if l.lstrip().startswith("1 ")]
     assert exact_row == fast_row
+
+
+def test_serve_fixed_fleet(capsys):
+    assert main(["serve", "--model", "opt-30b", "--num-requests", "200",
+                 "--rate", "0.2", "--replicas", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "served 200 requests on 2 replica(s)" in out
+    assert "p50/p95/p99" in out
+    assert "per-replica" in out
+
+
+def test_serve_json_payload(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "serve.json"
+    assert main(["serve", "--num-requests", "150", "--rate", "0.3",
+                 "--shape", "1,128,16", "--shape", "8,256,32",
+                 "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["num_requests"] == 150
+    assert payload["shapes"] == [[1, 128, 16], [8, 256, 32]]
+    assert payload["percentiles"]["p99"] >= payload["percentiles"]["p50"]
+    assert 0.0 < payload["utilization"] <= 1.0
+    assert payload["replica_utilizations"]
+
+
+def test_serve_slo_plans_fleet(capsys):
+    assert main(["serve", "--model", "opt-30b", "--num-requests", "120",
+                 "--rate", "1.0", "--slo-p95", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "smallest round-robin fleet" in out
+    assert "$" in out
+
+
+def test_serve_streaming_percentiles(capsys):
+    assert main(["serve", "--num-requests", "100", "--rate", "0.5",
+                 "--streaming"]) == 0
+    assert "(streaming percentiles)" in capsys.readouterr().out
+
+
+def test_serve_bad_shape_is_clean_error(capsys):
+    assert main(["serve", "--shape", "1x128x16"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
