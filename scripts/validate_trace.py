@@ -10,7 +10,10 @@ emits (and Perfetto/chrome://tracing require):
 * every event is an object with a known ``ph`` phase;
 * complete events ("X") carry string ``name`` and numeric, finite,
   non-negative ``ts``/``dur`` plus ``pid``/``tid``;
-* metadata events ("M") carry ``name`` and an ``args`` object.
+* metadata events ("M") carry ``name`` and an ``args`` object;
+* counter events ("C") carry a finite non-negative ``ts``, an int
+  ``pid``, and a non-empty ``args`` object of finite numeric series
+  values (NaN/Inf samples break Perfetto's counter tracks).
 
 Used by CI and the test suite; exits 0 when every file passes.
 Stdlib only — it must run on a bare checkout.
@@ -75,6 +78,23 @@ def validate_trace_object(document: object) -> List[str]:
             if not isinstance(event.get("args"), dict):
                 errors.append(f"{where}: metadata needs an 'args' "
                               "object")
+        elif phase == "C":
+            _check_number(event, "ts", errors, where)
+            if not isinstance(event.get("pid"), int):
+                errors.append(f"{where}: 'pid' must be an int, "
+                              f"got {event.get('pid')!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter needs a non-empty "
+                              "'args' object of series values")
+            else:
+                for series, value in args.items():
+                    if (not isinstance(value, (int, float))
+                            or isinstance(value, bool)
+                            or not math.isfinite(value)):
+                        errors.append(
+                            f"{where}: counter series {series!r} "
+                            f"must be a finite number, got {value!r}")
     return errors
 
 

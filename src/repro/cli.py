@@ -12,6 +12,9 @@ Commands:
   fault scenario (see docs/ROBUSTNESS.md).
 * ``serve`` — vectorized million-request serving simulation with
   multi-replica scale-out (see docs/PERFORMANCE.md).
+* ``monitor`` — windowed serving observability: time-series metrics,
+  SLO burn-rate alerts with fault attribution, Perfetto counter
+  tracks, CSV, and an HTML dashboard (see docs/OBSERVABILITY.md).
 * ``experiment`` — run experiment drivers and print (or export) the
   tables.
 """
@@ -183,6 +186,65 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(seconds)")
     serve.add_argument("--json", default="",
                        help="write the machine-readable report here")
+
+    monitor = commands.add_parser(
+        "monitor", help="windowed serving observability: time-series "
+                        "metrics, SLO burn-rate alerts with fault "
+                        "attribution, and exported dashboards (see "
+                        "docs/OBSERVABILITY.md)")
+    monitor.add_argument("--model", default="opt-30b")
+    monitor.add_argument("--system", default="spr-a100")
+    monitor.add_argument("--num-requests", type=int, default=20_000)
+    monitor.add_argument("--rate", type=float, default=0.05,
+                         help="Poisson arrival rate (requests/s)")
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="seed for both the shape mix and the "
+                              "arrival process")
+    monitor.add_argument("--replicas", type=int, default=1,
+                         help="fleet size; >1 adds the per-replica "
+                              "dashboard section")
+    monitor.add_argument("--dispatch", choices=["round-robin",
+                                                "least-loaded"],
+                         default="round-robin")
+    monitor.add_argument("--shape", action="append", default=[],
+                         metavar="B,L_IN,L_OUT",
+                         help="request shape in the mix (repeatable); "
+                              "default: a 4-shape tier-1 mix")
+    monitor.add_argument("--preset", default="",
+                         help="fault scenario preset (e.g. "
+                              "gpu-pressure, pcie-flaky; see "
+                              "`repro faults --list-presets`); runs "
+                              "the degraded loop server and "
+                              "attributes alerts to its fault "
+                              "windows")
+    monitor.add_argument("--windows", type=int, default=256,
+                         help="number of time windows in the series")
+    monitor.add_argument("--slo-threshold", type=float, default=0.0,
+                         help="bad-request latency threshold "
+                              "(seconds); 0 auto-picks 1.25x the "
+                              "run's p95")
+    monitor.add_argument("--error-budget", type=float, default=0.05,
+                         help="tolerated bad-request fraction")
+    monitor.add_argument("--burn-threshold", type=float, default=2.0,
+                         help="alert when both rolling burn rates "
+                              "reach this multiple of budget")
+    monitor.add_argument("--long-window", type=float, default=0.0,
+                         help="long burn-rate lookback (seconds); "
+                              "0 = 1/8 of the run")
+    monitor.add_argument("--short-window", type=float, default=0.0,
+                         help="short burn-rate lookback (seconds); "
+                              "0 = 1/12 of the long window")
+    monitor.add_argument("--out", default="",
+                         help="write a Perfetto/Chrome trace with "
+                              "counter tracks here")
+    monitor.add_argument("--csv", default="",
+                         help="write the windowed series as CSV here")
+    monitor.add_argument("--html", default="",
+                         help="write a self-contained HTML dashboard "
+                              "here")
+    monitor.add_argument("--json", default="",
+                         help="write the machine-readable monitoring "
+                              "report here")
 
     experiment = commands.add_parser(
         "experiment", help="run experiment drivers (paper tables and "
@@ -616,6 +678,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.serving import MultiReplicaSimulator, WorkloadVector
+    from repro.serving.simulator import ServingSimulator
+    from repro.telemetry import (SLOPolicy, Telemetry, activate,
+                                 evaluate_slo, fleet_timeseries,
+                                 monitor_report,
+                                 timeseries_to_counter_events,
+                                 write_chrome_trace,
+                                 write_dashboard_html,
+                                 write_timeseries_csv)
+
+    if args.preset and args.replicas > 1:
+        raise ConfigurationError(
+            "--preset runs the single-server degraded loop; "
+            "use --replicas 1 with it")
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    config = LiaConfig(enforce_host_capacity=False)
+    estimator = LiaEstimator(spec, system, config)
+    shapes = ([_parse_shape(spelled) for spelled in args.shape]
+              or [InferenceRequest(*shape)
+                  for shape in _SERVE_DEFAULT_SHAPES])
+    workload = WorkloadVector.sample_mix(shapes, args.num_requests,
+                                         seed=args.seed)
+
+    scenario = None
+    telemetry = Telemetry()
+    with activate(telemetry):
+        if args.preset:
+            from repro.faults import get_scenario
+
+            scenario = get_scenario(args.preset)
+            report = ServingSimulator(estimator).run_poisson(
+                workload, args.rate, seed=args.seed,
+                scenario=scenario)
+        elif args.replicas > 1:
+            report = MultiReplicaSimulator(
+                estimator, args.replicas,
+                dispatch=args.dispatch).run_poisson(
+                    workload, args.rate, seed=args.seed)
+        else:
+            report = ServingSimulator(estimator).run_poisson(
+                workload, args.rate, seed=args.seed)
+
+    threshold = args.slo_threshold
+    auto_threshold = threshold <= 0.0
+    if auto_threshold:
+        threshold = 1.25 * report.latency_percentile(0.95)
+    policy = SLOPolicy(latency_threshold_s=threshold,
+                       error_budget=args.error_budget,
+                       long_window_s=args.long_window,
+                       short_window_s=args.short_window,
+                       burn_rate_threshold=args.burn_threshold)
+
+    fleet = None
+    if args.replicas > 1:
+        fleet = fleet_timeseries(report, n_windows=args.windows)
+        monitoring = evaluate_slo(fleet.merged, policy)
+    else:
+        monitoring = monitor_report(report, policy,
+                                    n_windows=args.windows)
+    series = monitoring.timeseries
+
+    source = "auto: 1.25 x p95" if auto_threshold else "given"
+    served = int(series.finished.sum())
+    print(f"monitored {served:,} requests on {spec.name} / "
+          f"{system.name} over {series.n_windows} windows of "
+          f"{series.grid.window_s:.1f} s")
+    if scenario is not None:
+        print(f"  scenario     : {scenario.name} "
+              f"({len(scenario.events)} fault window(s))")
+    print(f"  SLO threshold: {threshold:.3f} s ({source}), budget "
+          f"{policy.error_budget:.1%}, alert at "
+          f"{policy.burn_rate_threshold:g}x burn")
+    print(f"  bad requests : {monitoring.total_bad:,} "
+          f"({monitoring.bad_fraction:.2%}) -> "
+          f"{monitoring.budget_spent:.0%} of budget")
+    print(f"  alerts       : {len(monitoring.alerts)}")
+    for alert in monitoring.alerts:
+        detail = alert.cause
+        primary = alert.attributions[0] if alert.attributions else None
+        if primary is not None and primary.cause != "organic-load":
+            detail += (f" (overlap {primary.overlap_s:.1f} s, "
+                       f"magnitude {primary.magnitude:g})")
+        print(f"    [{alert.start_s:9.1f} - {alert.end_s:9.1f}] s  "
+              f"burn {alert.peak_burn_long:.1f}x/"
+              f"{alert.peak_burn_short:.1f}x  "
+              f"bad {alert.n_bad}/{alert.n_requests}  {detail}")
+
+    metadata = {"model": spec.name, "system": system.name,
+                "num_requests": args.num_requests,
+                "rate_per_s": args.rate, "seed": args.seed,
+                "replicas": args.replicas,
+                "scenario": args.preset or None}
+    if args.out:
+        path = write_chrome_trace(
+            args.out, telemetry.tracer.spans,
+            extra_events=timeseries_to_counter_events(series),
+            metadata={key: value for key, value in metadata.items()
+                      if value is not None})
+        print(f"wrote {path} (open in https://ui.perfetto.dev or "
+              "chrome://tracing)")
+    if args.csv:
+        path = write_timeseries_csv(
+            args.csv, series, monitoring=monitoring,
+            title=f"{spec.name} on {system.name}")
+        print(f"wrote {path}")
+    if args.html:
+        path = write_dashboard_html(
+            args.html, monitoring, fleet=fleet,
+            title=f"{spec.name} on {system.name}",
+            metadata=metadata)
+        print(f"wrote {path}")
+    if args.json:
+        import json
+
+        payload = dict(metadata)
+        payload.update({
+            "windows": series.n_windows,
+            "window_s": series.grid.window_s,
+            "slo_threshold_s": threshold,
+            "slo_threshold_auto": auto_threshold,
+            "monitoring": monitoring.to_dict(),
+            "series": series.to_dict(),
+        })
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import default_drivers, to_csv
 
@@ -663,6 +856,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "monitor":
+            return _cmd_monitor(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as error:

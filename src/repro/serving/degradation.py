@@ -102,12 +102,27 @@ class DegradedServingReport(ServingReport):
     scenario_name: str = ""
     dropped: List[DroppedRequest] = field(default_factory=list)
     stats: FaultStats = field(default_factory=FaultStats)
+    #: The injected scenario itself; its event windows let SLO
+    #: monitors attribute alerts to specific faults (vs organic load).
+    scenario: Optional[FaultScenario] = None
 
     def __post_init__(self) -> None:
         # Unlike the base report, a fully-shed run is a legal (if
         # grim) outcome: every request is accounted for in ``dropped``.
         if not self.served and not self.dropped:
             raise ConfigurationError("report needs at least one request")
+
+    def monitor(self, policy, **kwargs):
+        """Evaluate an SLO policy over this run, fault-attributed.
+
+        Convenience wrapper for
+        :func:`repro.telemetry.timeseries.monitor_report`; every
+        alert overlapping one of this report's fault windows is
+        attributed to that :class:`~repro.faults.spec.FaultEvent`.
+        """
+        from repro.telemetry.timeseries import monitor_report
+
+        return monitor_report(self, policy, **kwargs)
 
     @property
     def makespan(self) -> float:
@@ -431,7 +446,7 @@ def run_degraded(simulator: ServingSimulator,
 
     report = DegradedServingReport(
         served=served, scenario_name=scenario.name, dropped=dropped,
-        stats=controller.stats)
+        stats=controller.stats, scenario=scenario)
     if telemetry is not None:
         serving_report_to_metrics(
             report, telemetry.metrics,

@@ -31,7 +31,8 @@ from repro.errors import CapacityError, ConfigurationError
 from repro.models.workload import InferenceRequest
 from repro.serving.simulator import (ServingSimulator, arrivals_poisson,
                                      validate_arrivals)
-from repro.serving.vectorized import (VectorizedServingReport,
+from repro.serving.vectorized import (DEFAULT_SPAN_CAP,
+                                      VectorizedServingReport,
                                       WorkloadVector, lindley_timeline,
                                       shape_services)
 from repro.telemetry.runtime import Telemetry
@@ -201,7 +202,8 @@ class MultiReplicaSimulator:
 
     def _emit_telemetry(self, report: ScaleOutReport,
                         telemetry: Telemetry) -> None:
-        from repro.telemetry.bridge import (vectorized_report_to_metrics,
+        from repro.telemetry.bridge import (note_dropped_spans,
+                                            vectorized_report_to_metrics,
                                             vectorized_report_to_spans)
 
         system = self.estimator.system.name
@@ -228,6 +230,10 @@ class MultiReplicaSimulator:
             telemetry.metrics.counter(
                 "serving.spans_dropped", system=system,
                 model=model).inc(dropped)
+            note_dropped_spans(telemetry, dropped,
+                               report.merged.n_served,
+                               component="serving.replicas",
+                               cap=DEFAULT_SPAN_CAP)
 
 
 def replicas_needed(estimator: LiaEstimator,

@@ -186,6 +186,21 @@ class WorkloadVector:
             object.__setattr__(self, "_total_generated_tokens", cached)
         return cached
 
+    def tokens_per_request(self) -> np.ndarray:
+        """Generated tokens per request, in arrival order.
+
+        Cached like :meth:`counts` — the gather is O(n) and every
+        windowed-metrics pass over the same workload needs it.
+        """
+        cached = self.__dict__.get("_tokens_per_request")
+        if cached is None:
+            tokens = np.array([shape.total_generated_tokens
+                               for shape in self.shapes],
+                              dtype=np.float64)
+            cached = np.take(tokens, self.codes)
+            object.__setattr__(self, "_tokens_per_request", cached)
+        return cached
+
     def request_at(self, index: int) -> InferenceRequest:
         return self.shapes[int(self.codes[index])]
 
@@ -547,7 +562,8 @@ def run_vectorized(simulator: ServingSimulator,
                                      streaming=streaming)
     if telemetry is not None:
         from repro.telemetry.bridge import (
-            vectorized_report_to_metrics, vectorized_report_to_spans)
+            note_dropped_spans, vectorized_report_to_metrics,
+            vectorized_report_to_spans)
 
         labels = dict(extra_labels or {})
         vectorized_report_to_metrics(
@@ -566,4 +582,7 @@ def run_vectorized(simulator: ServingSimulator,
                 system=simulator.estimator.system.name,
                 model=simulator.estimator.spec.name, **labels
             ).inc(dropped)
+            note_dropped_spans(telemetry, dropped, report.n_served,
+                               component="serving.vectorized",
+                               cap=span_cap)
     return report

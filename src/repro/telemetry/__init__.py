@@ -1,4 +1,4 @@
-"""repro.telemetry — metrics, span tracing, and trace export.
+"""repro.telemetry — metrics, spans, time series, and export.
 
 The unified observability layer (see docs/OBSERVABILITY.md):
 
@@ -7,8 +7,14 @@ The unified observability layer (see docs/OBSERVABILITY.md):
 * :class:`Tracer` — nested spans over *simulated* clocks; the
   functional engine uses a logical :class:`TickClock`, the DES and
   serving simulator stamp sim-seconds directly.
+* Time series — :func:`compute_timeseries` windows the columnar
+  serving timelines into queue-depth/utilization/throughput/
+  percentile series in O(n); :func:`evaluate_slo` runs multi-window
+  burn-rate SLO monitors over them with fault attribution, and
+  :func:`fleet_timeseries` aggregates replicas.
 * Exporters — Chrome trace-event JSON (Perfetto /
-  chrome://tracing) and JSON/CSV metric dumps.
+  chrome://tracing) with span and counter tracks, JSON/CSV metric
+  dumps, windowed CSV series, and a self-contained HTML dashboard.
 * Bridges — adapters from ``Timeline``, ``TransferLog``, and
   ``ServingReport`` into the above.
 
@@ -23,19 +29,23 @@ Typical use::
 """
 
 from repro.telemetry.bridge import (
+    note_dropped_spans,
     serving_report_to_metrics,
     serving_report_to_spans,
     timeline_to_spans,
     timeline_to_trace_events,
     transfer_log_to_counters,
 )
+from repro.telemetry.dashboard import write_dashboard_html
 from repro.telemetry.export import (
     build_chrome_trace,
     render_metrics,
     spans_to_trace_events,
+    timeseries_to_counter_events,
     write_chrome_trace,
     write_metrics_csv,
     write_metrics_json,
+    write_timeseries_csv,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -45,6 +55,22 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.runtime import Telemetry, activate, current
 from repro.telemetry.spans import Span, TickClock, Tracer
+from repro.telemetry.timeseries import (
+    ORGANIC_LOAD,
+    AlertAttribution,
+    FleetTimeseries,
+    MonitoringReport,
+    SLOAlert,
+    SLOPolicy,
+    ServingTimeseries,
+    WindowGrid,
+    attribute_alerts,
+    compute_timeseries,
+    evaluate_slo,
+    fleet_timeseries,
+    monitor_report,
+    timeseries_from_report,
+)
 
 __all__ = [
     "Counter",
@@ -57,12 +83,30 @@ __all__ = [
     "Telemetry",
     "activate",
     "current",
+    "ORGANIC_LOAD",
+    "AlertAttribution",
+    "FleetTimeseries",
+    "MonitoringReport",
+    "SLOAlert",
+    "SLOPolicy",
+    "ServingTimeseries",
+    "WindowGrid",
+    "attribute_alerts",
+    "compute_timeseries",
+    "evaluate_slo",
+    "fleet_timeseries",
+    "monitor_report",
+    "timeseries_from_report",
     "build_chrome_trace",
     "render_metrics",
     "spans_to_trace_events",
+    "timeseries_to_counter_events",
     "write_chrome_trace",
+    "write_dashboard_html",
     "write_metrics_csv",
     "write_metrics_json",
+    "write_timeseries_csv",
+    "note_dropped_spans",
     "serving_report_to_metrics",
     "serving_report_to_spans",
     "timeline_to_spans",

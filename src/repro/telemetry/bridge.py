@@ -9,11 +9,33 @@ one exporter path serves every subsystem.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.export import spans_to_trace_events
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import Span
+
+
+def note_dropped_spans(telemetry, dropped: int, total: int,
+                       component: str, cap: int) -> None:
+    """Make span-cap truncation loud: counter + one-line warning.
+
+    A capped trace looks complete in Perfetto; without this, a
+    1M-request run silently renders as its first ``cap`` requests.
+    The ``telemetry.spans.dropped`` counter makes the loss queryable,
+    the :class:`RuntimeWarning` makes it visible at the console.
+    Callers still keep their domain-specific drop counters.
+    """
+    if dropped <= 0:
+        return
+    telemetry.metrics.counter(
+        "telemetry.spans.dropped", component=component).inc(dropped)
+    warnings.warn(
+        f"{component}: span cap truncated the trace — emitted spans "
+        f"for {total - dropped} of {total} requests (cap={cap}); "
+        "windowed metrics (repro.telemetry.timeseries) cover the "
+        "full run", RuntimeWarning, stacklevel=3)
 
 
 def timeline_to_spans(timeline) -> List[Span]:

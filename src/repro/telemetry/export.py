@@ -91,6 +91,109 @@ def write_chrome_trace(path, spans: Sequence[Span] = (),
 
 
 # ----------------------------------------------------------------------
+# Counter tracks (windowed time series).
+# ----------------------------------------------------------------------
+#: Percentile fractions exported as counter tracks / CSV columns.
+TIMESERIES_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def timeseries_to_counter_events(series, time_scale: float = 1e6,
+                                 prefix: str = "serving",
+                                 pid: int = TRACE_PID) -> List[dict]:
+    """Chrome counter-track ("C") events from a windowed series.
+
+    Each channel becomes one counter track sampled at every window's
+    left edge (a counter holds its value until the next sample), so
+    Perfetto renders queue depth, utilization, throughput, and
+    windowed percentiles as area charts alongside the span swim
+    lanes.  Windows with no latency samples are skipped on the
+    percentile tracks — counter events must stay finite.
+    """
+    if time_scale <= 0.0:
+        raise ConfigurationError(
+            f"time_scale must be positive, got {time_scale}")
+    edges = series.grid.edges
+    timestamps = [edge * time_scale for edge in edges[:-1].tolist()]
+
+    channels: List[tuple] = [
+        ("queue_depth", series.queue_depth.tolist()),
+        ("arrived", series.arrived.tolist()),
+        ("finished", series.finished.tolist()),
+        ("utilization", series.utilization.tolist()),
+    ]
+    for name in sorted(series.weighted):
+        channels.append((name, series.weighted[name].tolist()))
+    if series.dropped is not None:
+        channels.append(("dropped", series.dropped.tolist()))
+    for fraction in TIMESERIES_PERCENTILES:
+        label = f"p{round(fraction * 100)}_latency_s"
+        channels.append((label, series.percentile(fraction).tolist()))
+
+    events: List[dict] = []
+    for name, values in channels:
+        track = f"{prefix}.{name}"
+        for ts, value in zip(timestamps, values):
+            if value != value:  # NaN: empty percentile window
+                continue
+            events.append({"ph": "C", "name": track, "pid": pid,
+                           "ts": ts, "args": {"value": float(value)}})
+    return events
+
+
+def write_timeseries_csv(path, series, monitoring=None,
+                         title: str = "serving time series") -> Path:
+    """One CSV row per window; optional SLO burn-rate columns.
+
+    Columns: window bounds, the count/busy/utilization channels,
+    weighted sums, windowed percentiles — plus ``bad``,
+    ``burn_long``, ``burn_short``, and ``alert`` (0/1) when a
+    :class:`~repro.telemetry.timeseries.MonitoringReport` is given.
+    """
+    edges = series.grid.edges
+    columns: List[tuple] = [
+        ("t_start_s", edges[:-1].tolist()),
+        ("t_end_s", edges[1:].tolist()),
+        ("arrived", series.arrived.tolist()),
+        ("started", series.started.tolist()),
+        ("finished", series.finished.tolist()),
+        ("queue_depth", series.queue_depth.tolist()),
+        ("busy_s", series.busy_s.tolist()),
+        ("utilization", series.utilization.tolist()),
+    ]
+    for name in sorted(series.weighted):
+        columns.append((name, series.weighted[name].tolist()))
+    if series.dropped is not None:
+        columns.append(("dropped", series.dropped.tolist()))
+    for fraction in TIMESERIES_PERCENTILES:
+        label = f"p{round(fraction * 100)}_latency_s"
+        values = ["" if value != value else value
+                  for value in series.percentile(fraction).tolist()]
+        columns.append((label, values))
+    if monitoring is not None:
+        alert_flags = [0] * series.n_windows
+        for alert in monitoring.alerts:
+            for window in range(alert.first_window,
+                                alert.last_window + 1):
+                alert_flags[window] = 1
+        columns.extend([
+            ("bad", monitoring.bad.tolist()),
+            ("burn_long", monitoring.burn_long.tolist()),
+            ("burn_short", monitoring.burn_short.tolist()),
+            ("alert", alert_flags),
+        ])
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# {title}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["window"] + [name for name, _ in columns])
+        for window in range(series.n_windows):
+            writer.writerow([window]
+                            + [values[window] for _, values in columns])
+    return path
+
+
+# ----------------------------------------------------------------------
 # Metric dumps.
 # ----------------------------------------------------------------------
 def _flat_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:

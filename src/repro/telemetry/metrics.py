@@ -134,6 +134,29 @@ class StreamingHistogram:
         for bucket, count in zip(buckets.tolist(), counts.tolist()):
             self._buckets[bucket] = self._buckets.get(bucket, 0) + count
 
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other``'s state into this histogram, in place.
+
+        Buckets share the class-wide :data:`GROWTH` geometry, so
+        merging is pure addition of bucket counts — the property that
+        makes per-replica latency sketches combine into an exact
+        fleet sketch (same buckets as observing every sample into
+        one histogram; only ``total`` is subject to float fold
+        order).  Returns ``self`` so merges chain/fold naturally.
+        """
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self._nonpositive += other._nonpositive
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = (other.min if self.min is None
+                        else min(self.min, other.min))
+        if other.max is not None:
+            self.max = (other.max if self.max is None
+                        else max(self.max, other.max))
+        return self
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

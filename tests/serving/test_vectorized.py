@@ -143,6 +143,25 @@ def test_vectorized_span_cap_counts_overflow(simulator):
         model=simulator.estimator.spec.name) == 42.0
 
 
+def test_span_cap_truncation_is_loud(simulator):
+    # Satellite contract: a capped trace warns once and exposes the
+    # loss on the shared ``telemetry.spans.dropped`` counter, on top
+    # of the serving layer's own counter above.
+    from repro.serving.vectorized import run_vectorized
+
+    workload = WorkloadVector.sample_mix(
+        SHAPE_MIXES["single"], 50, seed=0)
+    arrivals = arrivals_poisson(50, 0.5, seed=0)
+    telemetry = Telemetry()
+    with activate(telemetry):
+        with pytest.warns(RuntimeWarning,
+                          match="span cap truncated the trace"):
+            run_vectorized(simulator, workload, arrivals, span_cap=8)
+    assert telemetry.metrics.counter_value(
+        "telemetry.spans.dropped",
+        component="serving.vectorized") == 42.0
+
+
 def test_auto_vectorize_dispatch(simulator):
     n = ServingSimulator.AUTO_VECTORIZE_MIN_REQUESTS
     workload = WorkloadVector.sample_mix(SHAPE_MIXES["single"], n,

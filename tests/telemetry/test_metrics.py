@@ -93,6 +93,61 @@ def test_histogram_single_sample():
         assert histogram.quantile(fraction) == pytest.approx(0.25)
 
 
+def _observe(values):
+    histogram = StreamingHistogram("lat")
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def _state(histogram):
+    """Everything ``merge`` must preserve, in comparable form.
+
+    ``total`` is a float sum and so subject to fold order (see the
+    ``merge`` docstring); it is compared approximately, everything
+    else exactly.
+    """
+    return (dict(histogram._buckets), histogram._nonpositive,
+            histogram.count, pytest.approx(histogram.total),
+            histogram.min, histogram.max)
+
+
+def test_histogram_merge_equals_single_stream():
+    rng = random.Random(13)
+    samples = [rng.expovariate(0.5) for __ in range(3000)] + [0.0]
+    merged = _observe(samples[:1000]).merge(
+        _observe(samples[1000:]))
+    whole = _observe(samples)
+    assert _state(merged) == _state(whole)
+    for fraction in (0.1, 0.5, 0.95, 0.99):
+        assert merged.quantile(fraction) == whole.quantile(fraction)
+
+
+def test_histogram_merge_commutative_and_associative():
+    # ``merge`` mutates the receiver, so every ordering starts from
+    # fresh copies of the same three streams.
+    rng = random.Random(29)
+    streams = [[rng.lognormvariate(0.0, 2.0) for __ in range(500)]
+               for __ in range(3)]
+    a, b, c = streams
+
+    ab = _observe(a).merge(_observe(b))
+    ba = _observe(b).merge(_observe(a))
+    assert _state(ab) == _state(ba)
+
+    left = _observe(a).merge(_observe(b)).merge(_observe(c))
+    right = _observe(a).merge(_observe(b).merge(_observe(c)))
+    assert _state(left) == _state(right)
+
+
+def test_histogram_merge_with_empty_is_identity():
+    histogram = _observe([0.5, 2.0, 8.0])
+    before = _state(histogram)
+    assert _state(histogram.merge(StreamingHistogram("lat"))) == before
+    empty = StreamingHistogram("lat")
+    assert _state(empty.merge(_observe([0.5, 2.0, 8.0]))) == before
+
+
 def test_snapshot_rows_are_deterministic_and_typed():
     registry = MetricsRegistry()
     registry.counter("b.counter", phase="decode").inc(2)

@@ -1,0 +1,148 @@
+"""scripts/bench_history.py — the bench-trajectory tracker.
+
+Loaded by file path like the trace validator; everything runs
+through ``main`` so the tests cover the CLI surface CI calls.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+
+def _load_tracker():
+    path = (Path(__file__).resolve().parents[1] / "scripts"
+            / "bench_history.py")
+    spec = importlib.util.spec_from_file_location("bench_history",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tracker():
+    return _load_tracker()
+
+
+def _serving_report(speedup=80.0, overhead=0.05, quick=False,
+                    passed=True):
+    return {
+        "benchmark": "bench_serving",
+        "workload": {"n_requests": 1_000_000},
+        "speedup_mean": speedup,
+        "speedup_cold": speedup * 0.9,
+        "bit_identical": True,
+        "timeseries": {"overhead_fraction": overhead},
+        "gates": {"speedup_mean_min": None if quick else 50.0,
+                  "bit_identical": True,
+                  "timeseries_overhead_max": None if quick else 0.10},
+        "pass": passed,
+    }
+
+
+def _write(path, document):
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def test_append_then_check_roundtrip(tracker, tmp_path):
+    history = tmp_path / "history.jsonl"
+    run = _write(tmp_path / "run.json", _serving_report())
+    assert tracker.main(["append", str(history), run,
+                         "--source", "test", "--commit", "abc123",
+                         "--timestamp", "2026-08-08T00:00:00+00:00"
+                         ]) == 0
+    (line,) = history.read_text().splitlines()
+    entry = json.loads(line)
+    assert entry["benchmark"] == "bench_serving"
+    assert entry["speedup_mean"] == 80.0
+    assert entry["timeseries_overhead"] == 0.05
+    assert entry["commit"] == "abc123"
+    assert entry["quick"] is False
+    assert tracker.main(["check", str(history),
+                         "--committed", run]) == 0
+
+
+def test_check_flags_speedup_regression(tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report(speedup=80.0))
+    regressed = _write(tmp_path / "regressed.json",
+                       _serving_report(speedup=20.0))
+    tracker.main(["append", str(history), regressed,
+                  "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed]) == 1
+    assert "speedup 20.0x under" in capsys.readouterr().err
+    # Quick mode only holds the sanity floor, which 20x clears.
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 0
+
+
+def test_check_flags_overhead_regression_full_mode_only(
+        tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    bloated = _write(tmp_path / "bloated.json",
+                     _serving_report(overhead=0.25))
+    tracker.main(["append", str(history), bloated, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed]) == 1
+    assert "overhead" in capsys.readouterr().err
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 0
+
+
+def test_check_latest_entry_wins_and_failed_runs_flagged(
+        tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    good = _write(tmp_path / "good.json", _serving_report())
+    bad = _write(tmp_path / "bad.json",
+                 _serving_report(passed=False))
+    tracker.main(["append", str(history), good, "--commit", ""])
+    tracker.main(["append", str(history), bad, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed]) == 1
+    assert "pass=false" in capsys.readouterr().err
+
+
+def test_check_requires_history_entry_per_benchmark(
+        tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    serving = _write(tmp_path / "serving.json", _serving_report())
+    other = _write(tmp_path / "other.json",
+                   {"benchmark": "bench_estimator", "pass": True,
+                    "gates": {}})
+    tracker.main(["append", str(history), serving, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", serving,
+                         "--committed", other]) == 1
+    assert "no history entry" in capsys.readouterr().err
+
+
+def test_check_empty_or_corrupt_history_fails(tracker, tmp_path,
+                                              capsys):
+    history = tmp_path / "missing.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    assert tracker.main(["check", str(history),
+                         "--committed", committed]) == 1
+    assert "no history entries" in capsys.readouterr().err
+    history.write_text("{broken\n")
+    with pytest.raises(SystemExit):
+        tracker.main(["check", str(history),
+                      "--committed", committed])
+
+
+def test_committed_history_gates_committed_reports(tracker):
+    # The repo's own trajectory must pass its own gates.
+    root = Path(__file__).resolve().parents[1]
+    assert tracker.main(
+        ["check", str(root / "BENCH_history.jsonl"),
+         "--committed", str(root / "BENCH_serving.json"),
+         "--committed", str(root / "BENCH_estimator.json")]) == 0

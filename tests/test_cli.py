@@ -91,6 +91,8 @@ def test_unknown_model_is_clean_error(capsys):
     ["faults", "--system", "tpu-pod"],
     ["serve", "--model", "gpt-9"],
     ["serve", "--system", "tpu-pod"],
+    ["monitor", "--model", "gpt-9"],
+    ["monitor", "--system", "tpu-pod"],
 ])
 def test_unknown_names_exit_nonzero_with_one_line_error(capsys, argv):
     """Every subcommand turns unknown zoo names into `error: ...`, not
@@ -240,6 +242,50 @@ def test_faults_without_scenario_matches_fault_free(capsys):
                                                        "p99",
                                                        "makespan"))]
     assert strip(plain) == strip(idle)
+
+
+def test_monitor_writes_all_exports(capsys, tmp_path):
+    import json
+
+    trace = tmp_path / "monitor.trace.json"
+    csv_path = tmp_path / "monitor.csv"
+    html = tmp_path / "monitor.html"
+    report = tmp_path / "monitor.json"
+    assert main(["monitor", "--model", "opt-30b",
+                 "--num-requests", "400", "--rate", "0.2",
+                 "--windows", "32", "--out", str(trace),
+                 "--csv", str(csv_path), "--html", str(html),
+                 "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "monitored 400 requests" in out
+    assert "SLO threshold" in out and "auto: 1.25 x p95" in out
+    assert _load_trace_validator().validate_trace_file(trace) == []
+    trace_doc = json.loads(trace.read_text())
+    counter_names = {event["name"]
+                     for event in trace_doc["traceEvents"]
+                     if event.get("ph") == "C"}
+    assert "serving.queue_depth" in counter_names
+    assert html.read_text().startswith("<!DOCTYPE html>")
+    lines = csv_path.read_text().splitlines()
+    assert len(lines) == 2 + 32  # title comment + header + windows
+    payload = json.loads(report.read_text())
+    assert payload["monitoring"]["total_requests"] == 400
+    assert len(payload["monitoring"]["burn_long"]) == 32
+    assert payload["series"]["n_windows"] == 32
+
+
+def test_monitor_preset_attributes_alerts(capsys):
+    assert main(["monitor", "--num-requests", "200", "--rate", "0.2",
+                 "--preset", "gpu-pressure", "--windows", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario     : gpu-pressure" in out
+    assert "fault window(s)" in out
+
+
+def test_monitor_preset_conflicts_with_replicas(capsys):
+    assert main(["monitor", "--preset", "gpu-pressure",
+                 "--replicas", "2"]) == 1
+    assert "degraded loop" in capsys.readouterr().err
 
 
 def test_faults_preset_and_scenario_conflict(capsys, tmp_path):
