@@ -78,6 +78,10 @@ def entry_from_report(report: Dict[str, object],
                 "max_relative_error"):
         if key in report:
             entry[key] = report[key]
+    degraded = report.get("degraded")
+    if isinstance(degraded, dict):
+        entry["degraded_speedup_mean"] = degraded.get("speedup_mean")
+        entry["degraded_bit_identical"] = degraded.get("bit_identical")
     workload = report.get("workload")
     if isinstance(workload, dict) and "n_requests" in workload:
         entry["n_requests"] = workload["n_requests"]
@@ -146,6 +150,20 @@ def check_against_committed(latest: Dict[str, object],
             kind = "sanity floor" if quick else "committed gate"
             failures.append(f"{name}: speedup {speedup:.1f}x under "
                             f"the {floor:g}x {kind}")
+    if ("degraded_bit_identical" in latest
+            and latest["degraded_bit_identical"] is not None
+            and not latest["degraded_bit_identical"]):
+        failures.append(f"{name}: degraded engines are not "
+                        f"bit-identical")
+    degraded_gate = gates.get("degraded_speedup_mean_min")
+    degraded_speedup = latest.get("degraded_speedup_mean")
+    if degraded_speedup is not None:
+        floor = QUICK_SPEEDUP_FLOOR if quick else degraded_gate
+        if floor is not None and degraded_speedup < floor:
+            kind = "sanity floor" if quick else "committed gate"
+            failures.append(
+                f"{name}: degraded speedup {degraded_speedup:.1f}x "
+                f"under the {floor:g}x {kind}")
     overhead_gate = gates.get("timeseries_overhead_max")
     overhead = latest.get("timeseries_overhead")
     if (not quick and overhead_gate is not None

@@ -53,6 +53,20 @@ def cache_token(obj: Any) -> Any:
         return obj
     except TypeError:
         pass
+    return pinned_token(obj)
+
+
+def pinned_token(obj: Any) -> int:
+    """A process-unique identity token for ``obj``, hashable or not.
+
+    For keys consulted many times per run, structurally hashing a
+    deep frozen dataclass (e.g. a :class:`FaultScenario` with its
+    event tuple) on *every* lookup can cost more than the cached
+    computation; an integer token hashes in nanoseconds.  The object
+    is pinned for the process lifetime so its ``id`` can never be
+    reused, at the usual identity-keying price: distinct-but-equal
+    objects miss the cache.
+    """
     global _NEXT_TOKEN
     with _TOKEN_LOCK:
         entry = _TOKENS.get(id(obj))
@@ -122,14 +136,32 @@ class LruCache:
 LAYER_LATENCY_CACHE = LruCache("layer_latency", maxsize=262144)
 #: Eq. (1) results: the winning policy for one (stage, B, L) point.
 OPTIMAL_POLICY_CACHE = LruCache("optimal_policy", maxsize=65536)
+#: Whole-request estimates: the serving warm-up path resolves the
+#: same handful of shapes on every fresh simulator, and one estimate
+#: costs ~10³ layer evaluations of pure-Python assembly even when
+#: the per-layer caches hit.
+ESTIMATE_CACHE = LruCache("estimate", maxsize=16384)
+#: Per-request stall outcomes of the piecewise degraded engine.  One
+#: outcome is pure in ``(scenario, stall probability, request index,
+#: chunk count)`` but costs several Mersenne-Twister seedings — the
+#: dominant cost of replaying a stall window — so repeated replays of
+#: one scenario (benchmark reps, fleet what-ifs) hit here instead.
+STALL_OUTCOME_CACHE = LruCache("stall_outcome", maxsize=262144)
 
-_ALL_CACHES = (LAYER_LATENCY_CACHE, OPTIMAL_POLICY_CACHE)
+_ALL_CACHES = (LAYER_LATENCY_CACHE, OPTIMAL_POLICY_CACHE,
+               ESTIMATE_CACHE, STALL_OUTCOME_CACHE)
 
 
 def clear_caches() -> None:
     """Drop every analytic cache (tests and benchmarks start cold)."""
     for cache in _ALL_CACHES:
         cache.clear()
+    # The degraded-system memo feeds identity-token keys into the
+    # caches above; clearing one without the other would leak warm
+    # state into a "cold" measurement.
+    from repro.faults.injector import clear_degraded_memo
+
+    clear_degraded_memo()
 
 
 def cache_stats() -> List[Dict[str, float]]:
@@ -167,3 +199,22 @@ def cached_layer_latency(spec, stage, policy, batch_size: int,
                               weights_resident=weights_resident,
                               resident_sublayers=resident_sublayers,
                               kv_resident=kv_resident))
+
+
+def cached_estimate(estimator, request):
+    """Memoized ``estimator.estimate(request)``.
+
+    :class:`~repro.core.estimator.LiaEstimator` is stateless and its
+    estimates are pure in ``(spec, system, config, request)``, so the
+    memo is shared across estimator *instances* — a fresh serving
+    simulator warms its plan table from here instead of re-running
+    the full per-layer assembly.  ``CapacityError`` is never cached;
+    oversized shapes re-raise at each call site, exactly like the
+    uncached path.  Honors ``config.cache_enabled``.
+    """
+    if not estimator.config.cache_enabled:
+        return estimator.estimate(request)
+    key = (cache_token(estimator.spec), cache_token(estimator.system),
+           estimator.config, request)
+    return ESTIMATE_CACHE.get_or_compute(
+        key, lambda: estimator.estimate(request))

@@ -23,9 +23,11 @@ fault signature.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
+from repro.core.cache import cache_token
 from repro.errors import ConfigurationError
 from repro.faults.spec import (PERFORMANCE_KINDS, FaultKind,
                                FaultScenario)
@@ -35,6 +37,23 @@ from repro.telemetry.runtime import current as current_telemetry
 #: The (kind-value, magnitude) signature of an active fault set —
 #: the memo key for degraded-system construction.
 FaultSignature = Tuple[Tuple[str, float], ...]
+
+#: Process-global memo of degraded systems keyed on the *identity*
+#: of the base system plus the fault signature.  A signature fully
+#: determines every :func:`apply_faults` factor (each magnitude is
+#: part of the signature), so the construction is pure in the key.
+#: Sharing the resulting ``SystemConfig`` object across runs is what
+#: lets the identity-token analytic caches (``layer_latency`` /
+#: ``optimal_policy``, see :mod:`repro.core.cache`) hit across
+#: fresh simulators instead of re-solving Eq. (1)/(2) per run.
+_DEGRADED_LOCK = threading.Lock()
+_DEGRADED_GLOBAL: Dict[Tuple[Any, FaultSignature], SystemConfig] = {}
+
+
+def clear_degraded_memo() -> None:
+    """Drop the process-global degraded-system memo (cold starts)."""
+    with _DEGRADED_LOCK:
+        _DEGRADED_GLOBAL.clear()
 
 
 class FaultInjector:
@@ -111,6 +130,36 @@ class FaultInjector:
     def any_performance_fault(self, time: float) -> bool:
         return bool(self.performance_signature(time))
 
+    def regimes(self) -> Tuple[
+            Tuple[float, float, FaultSignature, float], ...]:
+        """The scenario's piecewise-constant fault regimes.
+
+        Fault windows are time-bounded a priori, so the timeline
+        splits at every event ``start``/``end`` into half-open
+        segments ``[lo, hi)`` within which both the performance
+        signature and the stall probability are constant (events are
+        active on ``start <= t < end``).  Returns
+        ``((lo, hi, signature, stall_p), ...)`` covering ``[0, inf)``;
+        the final segment has ``hi = math.inf``.
+
+        This is the segmentation the piecewise-Lindley engine keys on:
+        any two instants inside one segment are interchangeable for
+        :meth:`performance_signature`, :meth:`degraded_system` and
+        :meth:`stall_probability`.
+        """
+        cuts = {0.0}
+        for event in self.scenario.events:
+            cuts.add(float(event.start))
+            if math.isfinite(event.end):
+                cuts.add(float(event.end))
+        bounds = sorted(cuts)
+        segments = []
+        for i, lo in enumerate(bounds):
+            hi = bounds[i + 1] if i + 1 < len(bounds) else math.inf
+            segments.append((lo, hi, self.performance_signature(lo),
+                             self.stall_probability(lo)))
+        return tuple(segments)
+
     def degraded_system(self, system: SystemConfig,
                         time: float) -> SystemConfig:
         """The platform as the active faults leave it at ``time``.
@@ -127,11 +176,17 @@ class FaultInjector:
         memo = self._degraded_memo.get(key)
         if memo is not None:
             return memo
-        degraded = apply_faults(system, link_scale=self.link_scale(time),
-                                cxl_scale=self.cxl_scale(time),
-                                cpu_loss=self.cpu_loss(time),
-                                gpu_reserved=self.gpu_reserved_fraction(
-                                    time))
+        global_key = (cache_token(system), signature)
+        with _DEGRADED_LOCK:
+            degraded = _DEGRADED_GLOBAL.get(global_key)
+        if degraded is None:
+            built = apply_faults(
+                system, link_scale=self.link_scale(time),
+                cxl_scale=self.cxl_scale(time),
+                cpu_loss=self.cpu_loss(time),
+                gpu_reserved=self.gpu_reserved_fraction(time))
+            with _DEGRADED_LOCK:
+                degraded = _DEGRADED_GLOBAL.setdefault(global_key, built)
         self._degraded_memo[key] = degraded
         telemetry = current_telemetry()
         if telemetry is not None:

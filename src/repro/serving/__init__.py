@@ -15,14 +15,24 @@ needs the two wrappers this package provides:
 * :mod:`repro.serving.vectorized` — the million-request array
   engine: exact Lindley-recursion timelines, columnar workloads, and
   array-backed reports, bit-identical to the loop path.
+* :mod:`repro.serving.piecewise` — the same contract under fault
+  scenarios: piecewise-Lindley segments over the fault regimes,
+  bit-identical to the degraded reference loop.
 * :mod:`repro.serving.replicas` — k-replica scale-out (round-robin /
-  least-loaded dispatch) and SLO-driven fleet sizing.
+  least-loaded dispatch, optionally under a fault scenario) and
+  SLO-driven fleet sizing.
 """
 
 from repro.serving.batcher import Batch, pack_requests
+from repro.serving.degradation import (DegradedServingReport,
+                                       DroppedRequest, FaultStats,
+                                       run_degraded)
+from repro.serving.piecewise import (VectorizedDegradedReport,
+                                     run_degraded_vectorized)
 from repro.serving.planner import (PlanChoice, ReplicaPlan,
                                    choose_system, plan_replicas)
-from repro.serving.replicas import (MultiReplicaSimulator,
+from repro.serving.replicas import (DegradedScaleOutReport,
+                                    MultiReplicaSimulator,
                                     ScaleOutReport, replicas_needed)
 from repro.serving.simulator import (ServedRequest, ServingReport,
                                      ServingSimulator, arrivals_poisson,
@@ -32,6 +42,13 @@ from repro.serving.vectorized import (VectorizedServingReport,
                                       run_vectorized)
 
 __all__ = [
+    "DegradedScaleOutReport",
+    "DegradedServingReport",
+    "DroppedRequest",
+    "FaultStats",
+    "VectorizedDegradedReport",
+    "run_degraded",
+    "run_degraded_vectorized",
     "Batch",
     "pack_requests",
     "ServedRequest",

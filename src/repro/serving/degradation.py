@@ -29,9 +29,11 @@ fault-free timeline bit for bit.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import cached_estimate
 from repro.core.estimator import LiaEstimator
 from repro.errors import CapacityError, ConfigurationError
 from repro.experiments.runner import run_sweep
@@ -105,6 +107,11 @@ class DegradedServingReport(ServingReport):
     #: The injected scenario itself; its event windows let SLO
     #: monitors attribute alerts to specific faults (vs organic load).
     scenario: Optional[FaultScenario] = None
+    #: Positions of ``served`` / ``dropped`` in the offered stream —
+    #: the multi-replica merge needs them to interleave substreams
+    #: back into global arrival order.
+    served_index: List[int] = field(default_factory=list)
+    dropped_index: List[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         # Unlike the base report, a fully-shed run is a legal (if
@@ -154,6 +161,11 @@ class _ServicePlan:
     policy_shifted: bool
 
 
+#: Memo-miss sentinel for the degraded-plan cache, which stores
+#: ``None`` for shapes that are unservable under a signature.
+_MISSING = object()
+
+
 class DegradationController:
     """Per-run reaction state: admission, retries, policy re-solve.
 
@@ -173,7 +185,8 @@ class DegradationController:
         self.stats = FaultStats()
         self._base_plans: Dict[InferenceRequest, _ServicePlan] = {}
         self._degraded_plans: Dict[
-            Tuple[InferenceRequest, FaultSignature], _ServicePlan] = {}
+            Tuple[InferenceRequest, FaultSignature],
+            Optional[_ServicePlan]] = {}
         self._degraded_estimators: Dict[FaultSignature, LiaEstimator] = {}
 
     # ------------------------------------------------------------------
@@ -196,16 +209,28 @@ class DegradationController:
 
         Returns the effective (possibly deferred) arrival time, or
         ``None`` when the request is shed.  Queue depth counts
-        previously admitted requests still unfinished at the probe
-        time; each deferral waits one exponential-backoff step.
+        previously *admitted* requests still unfinished at the probe
+        time — shed requests never enter ``pending_finishes`` and a
+        still-deferred request has not been admitted yet, so neither
+        can inflate the depth another request probes against.  Each
+        deferral waits one exponential-backoff step; the final probe
+        that ends in a shed adds no backoff (``backoff_seconds``
+        counts exactly ``max_deferrals`` delays for a shed request).
+
+        ``pending_finishes`` is nondecreasing (FIFO finishes are), so
+        the probe is a binary search — the count it returns is
+        provably equal to the linear scan ``sum(1 for f in
+        pending_finishes if f > effective)`` the loop originally
+        performed (regression-tested), which is what makes
+        million-request admission-controlled loops tractable.
         """
         admission = self.scenario.admission
         if not admission.enabled:
             return arrival
         effective = arrival
         for attempt in range(admission.max_deferrals + 1):
-            depth = sum(1 for finish in pending_finishes
-                        if finish > effective)
+            depth = (len(pending_finishes)
+                     - bisect_right(pending_finishes, effective))
             if depth < admission.max_queue_depth:
                 return effective
             if attempt == admission.max_deferrals:
@@ -228,7 +253,8 @@ class DegradationController:
     def _base_plan(self, request: InferenceRequest) -> _ServicePlan:
         plan = self._base_plans.get(request)
         if plan is None:
-            estimate = self.simulator.estimator.estimate(request)
+            estimate = cached_estimate(self.simulator.estimator,
+                                       request)
             plan = _ServicePlan(
                 latency=estimate.latency,
                 n_chunks=self._chunks(estimate),
@@ -268,42 +294,60 @@ class DegradationController:
         signature = self.injector.performance_signature(start)
         if not signature:
             return self._base_plan(request)
+        plan = self._resolve_plan(request, signature, start)
+        if plan is None:
+            self.stats.unservable += 1
+            self._count("faults.unservable")
+            return None
+        self._note_plan(plan, index, start)
+        return plan
+
+    def _resolve_plan(self, request: InferenceRequest,
+                      signature: FaultSignature,
+                      time: float) -> Optional[_ServicePlan]:
+        """The memoized (shape, signature) plan, free of stats side
+        effects — the piecewise engine resolves per segment and
+        bulk-accounts, the loop accounts per request via
+        :meth:`plan_service`.  ``None`` (memoized too) means the
+        shape does not fit the degraded platform even at B=1.
+        """
+        if not signature:
+            return self._base_plan(request)
         key = (request, signature)
-        plan = self._degraded_plans.get(key)
-        if plan is not None:
-            self._note_plan(plan, index, start)
-            return plan
-        estimator = self._degraded_estimator(signature, start)
+        memo = self._degraded_plans.get(key, _MISSING)
+        if memo is not _MISSING:
+            return memo  # type: ignore[return-value]
+        estimator = self._degraded_estimator(signature, time)
         base = self._base_plan_policy(request)
         batch = request.batch_size
         shrinks = 0
+        plan: Optional[_ServicePlan] = None
         while True:
             attempt = (request if batch == request.batch_size
                        else replace(request, batch_size=batch))
             try:
-                estimate = estimator.estimate(attempt)
-                break
+                estimate = cached_estimate(estimator, attempt)
             except CapacityError:
                 if batch == 1:
-                    self.stats.unservable += 1
-                    self._count("faults.unservable")
-                    return None
+                    break
                 batch = (batch + 1) // 2
                 shrinks += 1
-        pieces = math.ceil(request.batch_size / batch)
-        shifted = (str(estimate.decode_policy) != base[1]
-                   or str(estimate.prefill_policy) != base[0])
-        plan = _ServicePlan(latency=estimate.latency * pieces,
-                            n_chunks=self._chunks(estimate) * pieces,
-                            shrinks=shrinks, resolved=True,
-                            policy_shifted=shifted)
+                continue
+            pieces = math.ceil(request.batch_size / batch)
+            shifted = (str(estimate.decode_policy) != base[1]
+                       or str(estimate.prefill_policy) != base[0])
+            plan = _ServicePlan(
+                latency=estimate.latency * pieces,
+                n_chunks=self._chunks(estimate) * pieces,
+                shrinks=shrinks, resolved=True,
+                policy_shifted=shifted)
+            break
         self._degraded_plans[key] = plan
-        self._note_plan(plan, index, start)
         return plan
 
     def _base_plan_policy(self,
                           request: InferenceRequest) -> Tuple[str, str]:
-        estimate = self.simulator.estimator.estimate(request)
+        estimate = cached_estimate(self.simulator.estimator, request)
         return str(estimate.prefill_policy), str(estimate.decode_policy)
 
     def _note_plan(self, plan: _ServicePlan, index: int,
@@ -374,25 +418,36 @@ class DegradationController:
 def run_degraded(simulator: ServingSimulator,
                  requests: Sequence[InferenceRequest],
                  arrivals: Sequence[float],
-                 scenario: FaultScenario) -> DegradedServingReport:
+                 scenario: FaultScenario,
+                 indices: Optional[Sequence[int]] = None,
+                 quiet: bool = False) -> DegradedServingReport:
     """Serve ``requests`` through the FIFO server under ``scenario``.
 
     The loop mirrors :meth:`ServingSimulator.run` exactly — same
     start/finish arithmetic, same shape memoization — and layers the
     three degradation mechanisms on top, so an idle scenario yields a
-    bit-identical timeline.  Fault scenarios keep this per-request
-    loop (every admission/retry/re-solve decision is stateful); idle
-    scenarios never reach it — ``run`` routes them through the plain
-    path, which vectorizes large runs.  Distinct request shapes are pre-estimated
+    bit-identical timeline.  This per-request loop is the *reference
+    engine*: :mod:`repro.serving.piecewise` reproduces it bit for bit
+    over piecewise-Lindley segments, and ``run`` routes large runs
+    there by default.  Distinct request shapes are pre-estimated
     through :func:`repro.experiments.runner.run_sweep`; the runner
     returns results in input order, so ``REPRO_SWEEP_WORKERS`` cannot
     change any outcome.
+
+    ``indices`` relabels each position with a global request index —
+    the multi-replica dispatcher passes the substream's global
+    positions so RNG keying (and span naming) stays engine- and
+    replica-invariant.  ``quiet=True`` suppresses all telemetry (the
+    fleet path emits one merged view instead of per-replica rows).
     """
     if len(requests) != len(arrivals):
         raise ConfigurationError(
             "requests and arrivals must have equal length")
     validate_arrivals(arrivals)
-    telemetry = simulator._active_telemetry()
+    if indices is not None and len(indices) != len(requests):
+        raise ConfigurationError(
+            "indices and requests must have equal length")
+    telemetry = None if quiet else simulator._active_telemetry()
     controller = DegradationController(simulator, scenario, telemetry)
 
     # Warm the base-plan memo in deterministic input order; parallel
@@ -404,9 +459,11 @@ def run_degraded(simulator: ServingSimulator,
             seen.add(request)
             distinct.append(request)
     try:
+        estimator = simulator.estimator
         for request, estimate in zip(
                 distinct,
-                run_sweep(simulator.estimator.estimate, distinct)):
+                run_sweep(lambda r: cached_estimate(estimator, r),
+                          distinct)):
             controller._base_plans[request] = _ServicePlan(
                 latency=estimate.latency,
                 n_chunks=controller._chunks(estimate),
@@ -418,14 +475,20 @@ def run_degraded(simulator: ServingSimulator,
 
     served: List[ServedRequest] = []
     dropped: List[DroppedRequest] = []
+    served_index: List[int] = []
+    dropped_index: List[int] = []
     finishes: List[float] = []
     free_at = 0.0
-    for index, (request, arrival) in enumerate(zip(requests, arrivals)):
+    for position, (request, arrival) in enumerate(zip(requests,
+                                                      arrivals)):
+        index = (position if indices is None
+                 else int(indices[position]))
         effective = controller.admit(arrival, index, finishes)
         if effective is None:
             dropped.append(DroppedRequest(
                 request=request, arrival=arrival,
                 reason="shed by admission control"))
+            dropped_index.append(position)
             continue
         start = max(effective, free_at)
         plan = controller.plan_service(request, start, index)
@@ -433,6 +496,7 @@ def run_degraded(simulator: ServingSimulator,
             dropped.append(DroppedRequest(
                 request=request, arrival=arrival,
                 reason="does not fit the degraded platform at B=1"))
+            dropped_index.append(position)
             continue
         penalty = controller.transfer_penalty(start, index,
                                               plan.n_chunks)
@@ -441,12 +505,14 @@ def run_degraded(simulator: ServingSimulator,
         finish = start + plan.latency + penalty
         served.append(ServedRequest(request=request, arrival=arrival,
                                     start=start, finish=finish))
+        served_index.append(position)
         finishes.append(finish)
         free_at = finish
 
     report = DegradedServingReport(
         served=served, scenario_name=scenario.name, dropped=dropped,
-        stats=controller.stats, scenario=scenario)
+        stats=controller.stats, scenario=scenario,
+        served_index=served_index, dropped_index=dropped_index)
     if telemetry is not None:
         serving_report_to_metrics(
             report, telemetry.metrics,

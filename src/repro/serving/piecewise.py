@@ -1,0 +1,718 @@
+"""Piecewise-Lindley vectorization of the degraded serving path.
+
+The degraded loop in :mod:`repro.serving.degradation` is the same
+FIFO recurrence the fault-free loop walks, plus three per-request
+perturbations: a policy re-solve while capacity faults are active, a
+stall penalty added to the finish, and (optionally) admission
+deferral.  Fault windows are time-bounded *a priori*, so the timeline
+splits into segments — :meth:`FaultInjector.regimes` — inside which
+the performance signature and stall probability are constant.  Each
+segment is then the plain array kernel again:
+
+* service times become one gather per segment (plan per distinct
+  shape under the segment's signature, scattered onto the block),
+* stall penalties become a ``penalties`` column for the generalized
+  :func:`~repro.serving.vectorized.lindley_timeline` (which replays
+  the loop's two-addition ``(start + latency) + penalty`` fold), and
+* queue backlog carries across segment boundaries through the
+  kernel's ``free_at`` clamp.
+
+**Speculation.** A request's *start* — not its arrival — picks its
+signature, and backlog can push starts past the segment boundary.
+Blocks are therefore computed speculatively under the entry segment's
+signature and committed only up to the first request whose start (or
+would-be start, for unservable drops) crosses the boundary; the
+remainder re-enters the engine under the next segment.  The first
+request of a block always starts inside the segment that was chosen
+for it, so every commit makes progress.
+
+**Bit-identity is the contract** (the same one PR 4 established for
+the fault-free engine): timelines, ``FaultStats``, dropped records,
+and the ``serving.*``/``faults.*`` telemetry rows match the reference
+loop bit for bit.  All RNG draws key on ``(scenario seed, global
+request index)`` exactly like the loop, and the two float
+accumulators (``stall_seconds``, ``backoff_seconds``) fold per event
+in request order.
+
+Admission control is inherently sequential — each decision probes the
+finishes of every previously admitted request — so scenarios with an
+admission bound take an exact sequential kernel over the same
+precomputed segment tables (honest fallback; the binary-search depth
+probe keeps it O(n log n)).  The ≥20× benchmark floor applies to the
+admissionless piecewise path.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cache import STALL_OUTCOME_CACHE, pinned_token
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultScenario
+from repro.models.workload import InferenceRequest
+from repro.serving.degradation import (DegradationController,
+                                       DroppedRequest, FaultStats,
+                                       _ServicePlan)
+from repro.serving.simulator import ServingSimulator, validate_arrivals
+from repro.serving.vectorized import (DEFAULT_SPAN_CAP,
+                                      VectorizedServingReport,
+                                      WorkloadVector, lindley_timeline)
+
+#: Speculative block size inside finite segments.  Commits are exact,
+#: so the cap only bounds wasted work when backlog pushes starts past
+#: a segment boundary early in a block.
+_BLOCK_CAP = 1 << 16
+
+_UNSERVABLE_REASON = "does not fit the degraded platform at B=1"
+_SHED_REASON = "shed by admission control"
+
+
+# ----------------------------------------------------------------------
+# Pure stall-outcome replication
+# ----------------------------------------------------------------------
+def _stall_outcome(scenario: FaultScenario, probability: float,
+                   index: int, n_chunks: int
+                   ) -> Tuple[float, Tuple[tuple, ...]]:
+    """(penalty, ops) of :meth:`DegradationController.transfer_penalty`
+    for one request, with the side effects reified as an op list.
+
+    Replays :meth:`FaultInjector.chunk_stalls` /
+    :meth:`FaultInjector.retry_succeeds` draw for draw (same RNG
+    keys, same number of draws) and the penalty accumulation add for
+    add, so the returned penalty is the exact float the loop computes.
+    Ops are applied in commit order by :func:`_apply_stall_ops`.
+    """
+    retry = scenario.retry
+    if probability <= 0.0 or n_chunks == 0:
+        return 0.0, ()
+    rng = scenario.rng_for(index)
+    stalled = tuple(chunk for chunk in range(n_chunks)
+                    if rng.random() < probability)
+    if not stalled:
+        return 0.0, ()
+    penalty = 0.0
+    ops: List[tuple] = []
+    for chunk in stalled:
+        offset = penalty
+        penalty += retry.timeout_s
+        ops.append(("stall", chunk, offset))
+        recovered = False
+        for attempt in range(retry.max_retries):
+            delay = retry.backoff_delay(attempt)
+            offset = penalty
+            penalty += delay
+            ops.append(("retry", chunk, attempt, offset, delay))
+            rng2 = scenario.rng_for(
+                (index + 1) * 1_000_003 + chunk * 1_009 + attempt)
+            if rng2.random() >= probability:
+                recovered = True
+                break
+            penalty += retry.timeout_s
+            ops.append(("retry_stall", chunk, attempt, offset, delay))
+        if not recovered:
+            ops.append(("failure", chunk))
+    return penalty, tuple(ops)
+
+
+def _cached_stall_outcome(controller: DegradationController,
+                          probability: float, index: int,
+                          n_chunks: int
+                          ) -> Tuple[float, Tuple[tuple, ...]]:
+    """:func:`_stall_outcome` through the process-global memo.
+
+    The outcome is pure in its arguments (every draw keys on the
+    scenario seed and the request index), so memoized values are
+    bit-identical to recomputed ones; what the memo removes is the
+    Mersenne-Twister seeding cost — several microseconds per request,
+    the dominant term when a stall window is replayed more than once
+    (benchmark reps, fleet sizing sweeps, what-if reruns).  Honors
+    ``config.cache_enabled`` like every other analytic memo.
+
+    The scenario enters the key as a pinned identity token rather than
+    structurally: hashing a frozen ``FaultScenario`` walks its whole
+    event tuple on every dict probe, which at 10⁶ lookups costs more
+    than the MT seedings the memo saves.
+    """
+    scenario = controller.scenario
+    if not controller.simulator.estimator.config.cache_enabled:
+        return _stall_outcome(scenario, probability, index, n_chunks)
+    key = (pinned_token(scenario), probability, index, n_chunks)
+    return STALL_OUTCOME_CACHE.get_or_compute(
+        key, lambda: _stall_outcome(scenario, probability, index,
+                                    n_chunks))
+
+
+def _apply_stall_ops(controller: DegradationController, index: int,
+                     start: float, ops: Tuple[tuple, ...]) -> None:
+    """Fold one request's stall ops into stats/counters/spans in the
+    exact order ``transfer_penalty`` performs them."""
+    stats = controller.stats
+    timeout = controller.scenario.retry.timeout_s
+    for op in ops:
+        kind = op[0]
+        if kind == "stall":
+            __, chunk, offset = op
+            stats.transfer_stalls += 1
+            controller._count("faults.transfer.stalls")
+            at = start + offset
+            stats.stall_seconds += timeout
+            controller._span(f"stall:req{index}:chunk{chunk}", at,
+                             at + timeout, chunk=chunk)
+        elif kind == "retry":
+            __, chunk, attempt, offset, delay = op
+            at = start + offset
+            stats.transfer_retries += 1
+            stats.backoff_seconds += delay
+            controller._count("faults.transfer.retries")
+            controller._count("faults.backoff_seconds", delay)
+            controller._span(f"backoff:req{index}:chunk{chunk}", at,
+                             at + delay, attempt=attempt)
+        elif kind == "retry_stall":
+            __, chunk, attempt, offset, delay = op
+            at = start + offset
+            stats.stall_seconds += timeout
+            controller._span(f"stall:req{index}:chunk{chunk}",
+                             at + delay, at + delay + timeout,
+                             chunk=chunk, attempt=attempt)
+        else:  # failure
+            stats.transfer_failures += 1
+            controller._count("faults.transfer.failures")
+
+
+# ----------------------------------------------------------------------
+# Per-signature plan tables
+# ----------------------------------------------------------------------
+class _PlanTable:
+    """Columnar plan cache for one fault signature.
+
+    One slot per workload shape, filled lazily with the codes a block
+    actually contains — matching the loop, which only resolves shapes
+    that arrive while the signature is active.
+    """
+
+    __slots__ = ("latency", "n_chunks", "ok", "shifted", "shrinks",
+                 "filled")
+
+    def __init__(self, n_shapes: int) -> None:
+        self.latency = np.zeros(n_shapes)
+        self.n_chunks = np.zeros(n_shapes, dtype=np.int64)
+        self.ok = np.ones(n_shapes, dtype=bool)
+        self.shifted = np.zeros(n_shapes, dtype=bool)
+        self.shrinks = np.zeros(n_shapes, dtype=np.int64)
+        self.filled = np.zeros(n_shapes, dtype=bool)
+
+    def fill(self, controller: DegradationController,
+             shapes: Sequence[InferenceRequest], signature,
+             block_codes: np.ndarray, time: float) -> None:
+        missing = np.unique(block_codes[~self.filled[block_codes]])
+        for code in missing.tolist():
+            plan = self._plan_for(controller, shapes[code], signature,
+                                  time)
+            if plan is None:
+                self.ok[code] = False
+            else:
+                self.latency[code] = plan.latency
+                self.n_chunks[code] = plan.n_chunks
+                self.shifted[code] = plan.policy_shifted
+                self.shrinks[code] = plan.shrinks
+            self.filled[code] = True
+
+    @staticmethod
+    def _plan_for(controller: DegradationController,
+                  shape: InferenceRequest, signature,
+                  time: float) -> Optional[_ServicePlan]:
+        # A shape too large for even the *base* platform raises
+        # CapacityError here, exactly as the loop raises at that
+        # shape's first arrival (the warm-up swallows it so it
+        # surfaces per shape).
+        if not signature:
+            return controller._base_plan(shape)
+        return controller._resolve_plan(shape, signature, time)
+
+
+# ----------------------------------------------------------------------
+# The array-backed degraded report
+# ----------------------------------------------------------------------
+class VectorizedDegradedReport(VectorizedServingReport):
+    """A :class:`DegradedServingReport` over arrays.
+
+    ``workload``/``arrivals``/``starts``/``finishes`` cover the
+    *served* substream; the offered stream, drop records, and
+    ``FaultStats`` ride alongside.  Scalar statistics fold in the
+    loop report's float order, so every field is bit-comparable with
+    the reference loop's report.
+    """
+
+    _allow_empty = True  # a fully-shed run is a legal (if grim) outcome
+
+    def __init__(self, offered: WorkloadVector,
+                 offered_arrivals: np.ndarray,
+                 served_index: np.ndarray, starts: np.ndarray,
+                 finishes: np.ndarray, dropped_index: np.ndarray,
+                 dropped_reasons: Sequence[str],
+                 scenario: FaultScenario, stats: FaultStats,
+                 streaming: Optional[bool] = None) -> None:
+        if dropped_index.size != len(dropped_reasons):
+            raise ConfigurationError(
+                "dropped_index and dropped_reasons must have equal "
+                "length")
+        super().__init__(offered.subset(served_index),
+                         offered_arrivals[served_index], starts,
+                         finishes, streaming=streaming)
+        self.offered = offered
+        self.offered_arrivals = offered_arrivals
+        self.served_index = served_index
+        self.dropped_index = dropped_index
+        self.dropped_reasons = tuple(dropped_reasons)
+        self.scenario = scenario
+        self.scenario_name = scenario.name
+        self.stats = stats
+        self._dropped: Optional[List[DroppedRequest]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_offered(self) -> int:
+        return self.n_served + int(self.dropped_index.size)
+
+    @property
+    def drop_rate(self) -> float:
+        offered = self.n_offered
+        return self.dropped_index.size / offered if offered else 0.0
+
+    @property
+    def dropped_arrivals(self) -> np.ndarray:
+        """Arrival timestamps of the dropped substream (for windowed
+        time-series without materializing drop objects)."""
+        return self.offered_arrivals[self.dropped_index]
+
+    @property
+    def dropped(self) -> List[DroppedRequest]:
+        if self._dropped is None:
+            shapes = self.offered.shapes
+            codes = self.offered.codes[self.dropped_index].tolist()
+            arrivals = self.dropped_arrivals.tolist()
+            self._dropped = [
+                DroppedRequest(request=shapes[code], arrival=arrival,
+                               reason=reason)
+                for code, arrival, reason in zip(
+                    codes, arrivals, self.dropped_reasons)]
+        return self._dropped
+
+    # Empty-served guards mirror DegradedServingReport's overrides.
+    @property
+    def makespan(self) -> float:
+        if self.n_served == 0:
+            return 0.0
+        return super().makespan
+
+    @property
+    def utilization(self) -> float:
+        if self.n_served == 0:
+            return 0.0
+        return super().utilization
+
+    @property
+    def mean_queue_delay(self) -> float:
+        if self.n_served == 0:
+            return 0.0
+        return super().mean_queue_delay
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.n_served == 0:
+            return 0.0
+        return super().throughput_tokens_per_s
+
+    def monitor(self, policy, **kwargs):
+        """Evaluate an SLO policy over this run, fault-attributed
+        (see :meth:`DegradedServingReport.monitor`)."""
+        from repro.telemetry.timeseries import monitor_report
+
+        return monitor_report(self, policy, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _warm_base_plans(controller: DegradationController,
+                     workload: WorkloadVector) -> None:
+    """Pre-estimate every present shape through the sweep runner —
+    the same warm-up ``run_degraded`` performs, so parallel workers
+    change wall-clock only."""
+    from repro.core.cache import cached_estimate
+    from repro.errors import CapacityError
+    from repro.experiments.runner import run_sweep
+
+    counts = workload.counts()
+    present = [shape for shape, count
+               in zip(workload.shapes, counts.tolist()) if count]
+    try:
+        estimator = controller.simulator.estimator
+        for shape, estimate in zip(
+                present,
+                run_sweep(lambda r: cached_estimate(estimator, r),
+                          present)):
+            controller._base_plans[shape] = _ServicePlan(
+                latency=estimate.latency,
+                n_chunks=controller._chunks(estimate),
+                shrinks=0, resolved=False, policy_shifted=False)
+    except CapacityError:
+        # Oversized shapes surface per shape at plan time, exactly
+        # where the loop raises them.
+        pass
+
+
+def run_degraded_vectorized(simulator: ServingSimulator,
+                            workload: WorkloadVector,
+                            arrivals: Sequence[float],
+                            scenario: FaultScenario,
+                            streaming: Optional[bool] = None,
+                            span_cap: int = DEFAULT_SPAN_CAP,
+                            indices: Optional[Sequence[int]] = None,
+                            quiet: bool = False
+                            ) -> VectorizedDegradedReport:
+    """Serve ``workload`` under ``scenario`` through the piecewise
+    engine — bit-identical to
+    :func:`repro.serving.degradation.run_degraded` on the same inputs
+    (timelines, :class:`FaultStats`, drops, and telemetry rows).
+
+    ``indices``/``quiet`` mirror the loop's parameters for the
+    multi-replica dispatcher: global request indices keep RNG draws
+    and span names replica-invariant, and ``quiet`` suppresses
+    per-replica telemetry in favor of one merged fleet view.
+    """
+    trace = validate_arrivals(arrivals)
+    if trace.size != workload.n_requests:
+        raise ConfigurationError(
+            "requests and arrivals must have equal length")
+    idx: Optional[np.ndarray] = None
+    if indices is not None:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size != workload.n_requests:
+            raise ConfigurationError(
+                "indices and requests must have equal length")
+    telemetry = None if quiet else simulator._active_telemetry()
+    controller = DegradationController(simulator, scenario, telemetry)
+    _warm_base_plans(controller, workload)
+
+    if scenario.admission.enabled:
+        served_index, starts, finishes, dropped_index, reasons = (
+            _run_admission_sequential(controller, workload, trace, idx))
+    else:
+        served_index, starts, finishes, dropped_index, reasons = (
+            _run_piecewise(controller, workload, trace, idx))
+
+    report = VectorizedDegradedReport(
+        offered=workload, offered_arrivals=trace,
+        served_index=served_index, starts=starts, finishes=finishes,
+        dropped_index=dropped_index, dropped_reasons=reasons,
+        scenario=scenario, stats=controller.stats,
+        streaming=streaming)
+    if telemetry is not None:
+        from repro.telemetry.bridge import (
+            note_dropped_spans, vectorized_report_to_metrics,
+            vectorized_report_to_spans)
+
+        vectorized_report_to_metrics(
+            report, telemetry.metrics,
+            system=simulator.estimator.system.name,
+            model=simulator.estimator.spec.name)
+        spans, dropped_spans = vectorized_report_to_spans(report,
+                                                          cap=span_cap)
+        for span in spans:
+            telemetry.tracer.add_span(span.name, span.track,
+                                      span.start, span.finish,
+                                      **span.args)
+        if dropped_spans:
+            telemetry.metrics.counter(
+                "serving.spans_dropped",
+                system=simulator.estimator.system.name,
+                model=simulator.estimator.spec.name).inc(dropped_spans)
+            note_dropped_spans(telemetry, dropped_spans,
+                               report.n_served,
+                               component="serving.piecewise",
+                               cap=span_cap)
+        telemetry.metrics.gauge(
+            "faults.dropped_requests",
+            scenario=scenario.name).set(int(dropped_index.size))
+    return report
+
+
+def _run_piecewise(controller: DegradationController,
+                   workload: WorkloadVector, trace: np.ndarray,
+                   idx: Optional[np.ndarray]
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, List[str]]:
+    """Mode A: admissionless piecewise-Lindley engine."""
+    stats = controller.stats
+    shapes = workload.shapes
+    codes = workload.codes
+    n = trace.size
+    segments = controller.injector.regimes()
+    seg_los = [segment[0] for segment in segments]
+    tables: dict = {}
+
+    served_starts = np.empty(n)
+    served_finishes = np.empty(n)
+    served_positions = np.empty(n, dtype=np.int64)
+    n_served = 0
+    dropped_positions: List[int] = []
+
+    pos = 0
+    free_at = 0.0
+    while pos < n:
+        arrival = trace[pos]
+        t0 = arrival if arrival >= free_at else free_at
+        lo, hi, signature, stall_p = segments[
+            bisect_right(seg_los, t0) - 1]
+        finite = math.isfinite(hi)
+        if finite:
+            block_end = int(np.searchsorted(trace, hi, side="left"))
+            block_end = min(block_end, pos + _BLOCK_CAP)
+        else:
+            block_end = n
+        block_end = max(block_end, pos + 1)
+        block_codes = codes[pos:block_end]
+        block_arrivals = trace[pos:block_end]
+
+        table = tables.get(signature)
+        if table is None:
+            table = tables[signature] = _PlanTable(len(shapes))
+        table.fill(controller, shapes, signature, block_codes, t0)
+
+        ok = table.ok[block_codes]
+        if finite and block_codes.size > 1:
+            # Capacity bound: every served request advances the clock
+            # by at least the cheapest servable latency, so at most
+            # ``1 + (hi - t0) / min_latency`` kept requests can start
+            # inside this segment.  Trimming the speculative block to
+            # that many kept rows bounds past-the-boundary rework
+            # (stall draws, kernel replay) to one block's overshoot.
+            kept_probe = np.flatnonzero(ok)
+            if kept_probe.size > 1:
+                cheapest = float(
+                    table.latency[block_codes[kept_probe]].min())
+                if cheapest > 0.0:
+                    capacity = 1 + int((hi - t0) / cheapest)
+                    if kept_probe.size > capacity:
+                        block_end = pos + int(kept_probe[capacity])
+                        block_codes = codes[pos:block_end]
+                        block_arrivals = trace[pos:block_end]
+                        ok = ok[:block_end - pos]
+        block_len = block_end - pos
+        if ok.all():
+            kept = None
+            kept_arrivals = block_arrivals
+            kept_latency = table.latency[block_codes]
+            drop = np.empty(0, dtype=np.int64)
+        else:
+            kept = np.flatnonzero(ok)
+            drop = np.flatnonzero(~ok)
+            kept_arrivals = block_arrivals[kept]
+            kept_latency = table.latency[block_codes[kept]]
+
+        outcomes = None
+        penalties = None
+        if stall_p > 0.0 and kept_arrivals.size:
+            kept_chunks = (table.n_chunks[block_codes] if kept is None
+                           else table.n_chunks[block_codes[kept]])
+            offsets = (np.arange(kept_arrivals.size, dtype=np.int64)
+                       if kept is None else kept)
+            request_ids = pos + offsets
+            if idx is not None:
+                request_ids = idx[request_ids]
+            outcomes = [
+                _cached_stall_outcome(controller, stall_p, int(rid),
+                                      int(nch))
+                for rid, nch in zip(request_ids.tolist(),
+                                    kept_chunks.tolist())]
+            penalties = np.fromiter((o[0] for o in outcomes),
+                                    dtype=np.float64,
+                                    count=len(outcomes))
+
+        if kept_arrivals.size:
+            kept_starts, kept_finishes = lindley_timeline(
+                kept_arrivals, kept_latency, penalties=penalties,
+                free_at=free_at)
+        else:
+            kept_starts = kept_finishes = np.empty(0)
+
+        # First-violation cut: commit only the prefix whose starts
+        # (or would-be starts of unservable drops) land in [lo, hi).
+        if not finite:
+            cut = block_len
+            kept_cut = int(kept_arrivals.size)
+            drop_cut = int(drop.size)
+        else:
+            kept_violation = int(np.searchsorted(kept_starts, hi,
+                                                 side="left"))
+            if kept is None:
+                cut = min(kept_violation, block_len)
+                kept_cut = cut
+                drop_cut = 0
+            else:
+                kept_edge = (int(kept[kept_violation])
+                             if kept_violation < kept.size
+                             else block_len)
+                previous = np.searchsorted(kept, drop) - 1
+                if kept_finishes.size:
+                    backlog = np.where(previous >= 0,
+                                       kept_finishes[previous], free_at)
+                else:
+                    backlog = free_at
+                probe = np.maximum(block_arrivals[drop], backlog)
+                drop_violation = int(np.searchsorted(probe, hi,
+                                                     side="left"))
+                drop_edge = (int(drop[drop_violation])
+                             if drop_violation < drop.size
+                             else block_len)
+                cut = min(kept_edge, drop_edge, block_len)
+                kept_cut = int(np.searchsorted(kept, cut, side="left"))
+                drop_cut = int(np.searchsorted(drop, cut, side="left"))
+
+        # Commit the prefix.
+        if kept_cut:
+            committed = (np.arange(kept_cut, dtype=np.int64)
+                         if kept is None else kept[:kept_cut])
+            served_starts[n_served:n_served + kept_cut] = (
+                kept_starts[:kept_cut])
+            served_finishes[n_served:n_served + kept_cut] = (
+                kept_finishes[:kept_cut])
+            served_positions[n_served:n_served + kept_cut] = (
+                pos + committed)
+            n_served += kept_cut
+            free_at = float(kept_finishes[kept_cut - 1])
+            committed_codes = block_codes[committed]
+            if signature:
+                stats.policy_resolves += kept_cut
+                controller._count("faults.policy_resolves", kept_cut)
+                shifted = int(np.count_nonzero(
+                    table.shifted[committed_codes]))
+                if shifted:
+                    stats.policy_shifts += shifted
+                    controller._count("faults.policy_shifts", shifted)
+                total_shrinks = int(table.shrinks[committed_codes].sum())
+                if total_shrinks:
+                    stats.batch_shrinks += total_shrinks
+                    controller._count("faults.batch_shrinks",
+                                      total_shrinks)
+                stats.degraded_requests += kept_cut
+            elif outcomes is not None:
+                stats.degraded_requests += sum(
+                    1 for outcome in outcomes[:kept_cut]
+                    if outcome[0] > 0.0)
+            need_spans = (controller.telemetry is not None and signature
+                          and bool(table.shrinks[committed_codes].any()))
+            if outcomes is not None or need_spans:
+                shrink_counts = (table.shrinks[committed_codes].tolist()
+                                 if need_spans else None)
+                start_list = kept_starts[:kept_cut].tolist()
+                global_ids = pos + committed
+                if idx is not None:
+                    global_ids = idx[global_ids]
+                for j, request_id in enumerate(global_ids.tolist()):
+                    if shrink_counts is not None and shrink_counts[j]:
+                        controller._span(f"shrink:req{request_id}",
+                                         start_list[j], start_list[j],
+                                         halvings=shrink_counts[j])
+                    if outcomes is not None and outcomes[j][1]:
+                        _apply_stall_ops(controller, request_id,
+                                         start_list[j], outcomes[j][1])
+        if drop_cut:
+            dropped_positions.extend(
+                (pos + drop[:drop_cut]).tolist())
+            stats.unservable += drop_cut
+            controller._count("faults.unservable", drop_cut)
+        pos += cut
+
+    reasons = [_UNSERVABLE_REASON] * len(dropped_positions)
+    return (served_positions[:n_served].copy(),
+            served_starts[:n_served].copy(),
+            served_finishes[:n_served].copy(),
+            np.array(dropped_positions, dtype=np.int64), reasons)
+
+
+def _run_admission_sequential(controller: DegradationController,
+                              workload: WorkloadVector,
+                              trace: np.ndarray,
+                              idx: Optional[np.ndarray]
+                              ) -> Tuple[np.ndarray, np.ndarray,
+                                         np.ndarray, np.ndarray,
+                                         List[str]]:
+    """Mode B: admission-bounded scenarios, sequential exact kernel.
+
+    Each admission decision probes every previously admitted finish,
+    so the recurrence cannot be segmented; this kernel walks requests
+    in order with the same controller the loop uses (identical stats,
+    counters, and span emission) over precomputed segment tables, and
+    keeps the binary-search depth probe.
+    """
+    stats = controller.stats
+    shapes = workload.shapes
+    codes = workload.codes.tolist()
+    arrivals = trace.tolist()
+    n = trace.size
+    segments = controller.injector.regimes()
+    seg_los = [segment[0] for segment in segments]
+    tables: dict = {}
+
+    served_positions: List[int] = []
+    starts_list: List[float] = []
+    finishes: List[float] = []
+    dropped_positions: List[int] = []
+    reasons: List[str] = []
+    free_at = 0.0
+    probe_code = np.empty(1, dtype=np.int64)
+    for position in range(n):
+        arrival = arrivals[position]
+        index = position if idx is None else int(idx[position])
+        effective = controller.admit(arrival, index, finishes)
+        if effective is None:
+            dropped_positions.append(position)
+            reasons.append(_SHED_REASON)
+            continue
+        start = effective if effective >= free_at else free_at
+        lo, hi, signature, stall_p = segments[
+            bisect_right(seg_los, start) - 1]
+        table = tables.get(signature)
+        if table is None:
+            table = tables[signature] = _PlanTable(len(shapes))
+        code = codes[position]
+        if not table.filled[code]:
+            probe_code[0] = code
+            table.fill(controller, shapes, signature, probe_code, start)
+        if not table.ok[code]:
+            # plan_service accounts one unservable hit per occurrence.
+            stats.unservable += 1
+            controller._count("faults.unservable")
+            dropped_positions.append(position)
+            reasons.append(_UNSERVABLE_REASON)
+            continue
+        if signature:
+            plan = _ServicePlan(
+                latency=float(table.latency[code]),
+                n_chunks=int(table.n_chunks[code]),
+                shrinks=int(table.shrinks[code]), resolved=True,
+                policy_shifted=bool(table.shifted[code]))
+            controller._note_plan(plan, index, start)
+        penalty = 0.0
+        if stall_p > 0.0:
+            penalty, ops = _cached_stall_outcome(
+                controller, stall_p, index, int(table.n_chunks[code]))
+            if ops:
+                _apply_stall_ops(controller, index, start, ops)
+        if signature or penalty > 0.0:
+            stats.degraded_requests += 1
+        finish = start + float(table.latency[code]) + penalty
+        served_positions.append(position)
+        starts_list.append(start)
+        finishes.append(finish)
+        free_at = finish
+    return (np.array(served_positions, dtype=np.int64),
+            np.array(starts_list, dtype=np.float64),
+            np.array(finishes, dtype=np.float64),
+            np.array(dropped_positions, dtype=np.int64), reasons)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +36,11 @@ from repro.serving.vectorized import (DEFAULT_SPAN_CAP,
                                       WorkloadVector, lindley_timeline,
                                       shape_services)
 from repro.telemetry.runtime import Telemetry
+
+if TYPE_CHECKING:
+    from repro.faults.spec import FaultScenario
+    from repro.serving.degradation import FaultStats
+    from repro.serving.piecewise import VectorizedDegradedReport
 
 DISPATCH_POLICIES = ("round-robin", "least-loaded")
 
@@ -91,6 +96,93 @@ class ScaleOutReport:
                 if makespan else 0.0)
 
 
+@dataclass
+class DegradedScaleOutReport(ScaleOutReport):
+    """A fleet run under a fault scenario.
+
+    ``merged`` is a
+    :class:`~repro.serving.piecewise.VectorizedDegradedReport` whose
+    served/dropped substreams interleave the replica timelines back
+    into global arrival order, so percentiles and queue delays pool
+    over every served request exactly like the single-server report.
+    ``stats`` folds the per-replica :class:`FaultStats` in replica-id
+    order (integer counters sum; the two float accumulators add in
+    that fixed order so the fold is engine-invariant).
+    """
+
+    stats: "FaultStats" = None  # type: ignore[assignment]
+    scenario: "FaultScenario" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.stats is None or self.scenario is None:
+            raise ConfigurationError(
+                "a degraded fleet report needs stats and scenario")
+
+    @property
+    def scenario_name(self) -> str:
+        return self.scenario.name
+
+    @property
+    def n_offered(self) -> int:
+        return self.merged.n_offered
+
+    @property
+    def n_dropped(self) -> int:
+        return int(self.merged.dropped_index.size)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.merged.drop_rate
+
+    @property
+    def dropped(self):
+        return self.merged.dropped
+
+
+def _fold_stats(per_replica_stats: Sequence["FaultStats"]) -> "FaultStats":
+    """Merge per-replica stats in replica-id order."""
+    from repro.serving.degradation import FaultStats
+
+    merged = FaultStats()
+    for stats in per_replica_stats:
+        merged.deferred += stats.deferred
+        merged.dropped += stats.dropped
+        merged.transfer_stalls += stats.transfer_stalls
+        merged.transfer_retries += stats.transfer_retries
+        merged.transfer_failures += stats.transfer_failures
+        merged.policy_resolves += stats.policy_resolves
+        merged.policy_shifts += stats.policy_shifts
+        merged.batch_shrinks += stats.batch_shrinks
+        merged.unservable += stats.unservable
+        merged.backoff_seconds += stats.backoff_seconds
+        merged.stall_seconds += stats.stall_seconds
+        merged.degraded_requests += stats.degraded_requests
+    return merged
+
+
+def _loop_report_to_vectorized(workload: WorkloadVector,
+                               trace: np.ndarray, report,
+                               scenario: "FaultScenario"
+                               ) -> "VectorizedDegradedReport":
+    """Re-express one replica's loop-engine report over arrays so the
+    fleet merge is engine-agnostic (the arrays carry the loop's exact
+    floats — no recomputation)."""
+    from repro.serving.piecewise import VectorizedDegradedReport
+
+    starts = np.array([s.start for s in report.served],
+                      dtype=np.float64)
+    finishes = np.array([s.finish for s in report.served],
+                        dtype=np.float64)
+    return VectorizedDegradedReport(
+        offered=workload, offered_arrivals=trace,
+        served_index=np.asarray(report.served_index, dtype=np.int64),
+        starts=starts, finishes=finishes,
+        dropped_index=np.asarray(report.dropped_index,
+                                 dtype=np.int64),
+        dropped_reasons=tuple(d.reason for d in report.dropped),
+        scenario=scenario, stats=report.stats)
+
+
 class MultiReplicaSimulator:
     """``k`` independent FIFO replicas behind one dispatcher."""
 
@@ -114,7 +206,22 @@ class MultiReplicaSimulator:
     def run(self, requests: Union[Sequence[InferenceRequest],
                                   WorkloadVector],
             arrivals: Sequence[float],
-            streaming: Optional[bool] = None) -> ScaleOutReport:
+            streaming: Optional[bool] = None,
+            scenario: Optional["FaultScenario"] = None,
+            vectorized: Optional[bool] = None) -> ScaleOutReport:
+        """Dispatch ``requests`` over the fleet.
+
+        ``scenario`` runs every replica under the fault layer
+        (round-robin dispatch only — least-loaded assignment depends
+        on every earlier finish, which shedding makes dispatch-order
+        ambiguous) and returns a :class:`DegradedScaleOutReport`.
+        ``vectorized`` picks the per-replica engine under a scenario:
+        the piecewise-Lindley engine by default, the reference loop
+        with ``vectorized=False`` (bit-identical by contract).
+        Without a scenario the fleet path is array-based only;
+        ``vectorized=False`` is a :class:`ConfigurationError` rather
+        than a silent ignore.
+        """
         workload = (requests if isinstance(requests, WorkloadVector)
                     else WorkloadVector.from_requests(requests))
         trace = validate_arrivals(arrivals)
@@ -124,6 +231,15 @@ class MultiReplicaSimulator:
         if trace.size == 0:
             raise ConfigurationError(
                 "workload must contain requests")
+        if scenario is not None and not scenario.idle:
+            return self._run_degraded(workload, trace, scenario,
+                                      streaming=streaming,
+                                      vectorized=vectorized)
+        if vectorized is False:
+            raise ConfigurationError(
+                "the fault-free fleet path is array-based only; "
+                "vectorized=False selects the reference loop and "
+                "requires a fault scenario")
         telemetry = self._simulator._active_telemetry()
         services = shape_services(self._simulator, workload, telemetry)
         n = trace.size
@@ -167,12 +283,109 @@ class MultiReplicaSimulator:
     def run_poisson(self, requests: Union[Sequence[InferenceRequest],
                                           WorkloadVector],
                     rate_per_s: float, seed: int = 0,
-                    streaming: Optional[bool] = None) -> ScaleOutReport:
+                    streaming: Optional[bool] = None,
+                    scenario: Optional["FaultScenario"] = None,
+                    vectorized: Optional[bool] = None) -> ScaleOutReport:
         n_requests = (requests.n_requests
                       if isinstance(requests, WorkloadVector)
                       else len(requests))
         arrivals = arrivals_poisson(n_requests, rate_per_s, seed=seed)
-        return self.run(requests, arrivals, streaming=streaming)
+        return self.run(requests, arrivals, streaming=streaming,
+                        scenario=scenario, vectorized=vectorized)
+
+    # ------------------------------------------------------------------
+    def _run_degraded(self, workload: WorkloadVector, trace: np.ndarray,
+                      scenario: "FaultScenario",
+                      streaming: Optional[bool],
+                      vectorized: Optional[bool]
+                      ) -> DegradedScaleOutReport:
+        """Round-robin fleet dispatch under the fault layer.
+
+        Each replica serves its substream with *global* request
+        indices, so every RNG draw (stall outcomes, deferral backoff)
+        keys exactly as a single-server run over the same requests
+        would — engine- and fleet-size-invariant.  Replicas run
+        ``quiet`` (no per-replica telemetry); one merged fleet view
+        is emitted at the end.
+        """
+        from repro.serving.degradation import run_degraded
+        from repro.serving.piecewise import (VectorizedDegradedReport,
+                                             run_degraded_vectorized)
+
+        if self.dispatch != "round-robin":
+            raise ConfigurationError(
+                "degraded fleet dispatch supports round-robin only: "
+                "least-loaded assignment depends on every earlier "
+                "finish, which admission shedding makes "
+                "dispatch-order ambiguous")
+        use_loop = vectorized is False
+        if use_loop and streaming is not None:
+            raise ConfigurationError(
+                "streaming= requires the vectorized engine; the "
+                "degraded loop materializes its report (pass "
+                "vectorized=True or leave streaming=None)")
+        telemetry = self._simulator._active_telemetry()
+        n = trace.size
+        assignment = np.arange(n, dtype=np.int64) % self.n_replicas
+        replica_ids: List[int] = []
+        per_replica: List[VectorizedDegradedReport] = []
+        served_parts: List[np.ndarray] = []
+        start_parts: List[np.ndarray] = []
+        finish_parts: List[np.ndarray] = []
+        dropped_parts: List[np.ndarray] = []
+        reason_parts: List[Tuple[str, ...]] = []
+        for replica in range(self.n_replicas):
+            index = np.flatnonzero(assignment == replica)
+            if index.size == 0:
+                continue
+            sub_workload = workload.subset(index)
+            sub_trace = trace[index]
+            if use_loop:
+                loop_report = run_degraded(
+                    self._simulator, sub_workload.to_requests(),
+                    sub_trace.tolist(), scenario,
+                    indices=index.tolist(), quiet=True)
+                sub = _loop_report_to_vectorized(
+                    sub_workload, sub_trace, loop_report, scenario)
+            else:
+                sub = run_degraded_vectorized(
+                    self._simulator, sub_workload, sub_trace,
+                    scenario, streaming=streaming, indices=index,
+                    quiet=True)
+            replica_ids.append(replica)
+            per_replica.append(sub)
+            served_parts.append(index[sub.served_index])
+            start_parts.append(sub.starts)
+            finish_parts.append(sub.finishes)
+            dropped_parts.append(index[sub.dropped_index])
+            reason_parts.append(sub.dropped_reasons)
+        stats = _fold_stats([sub.stats for sub in per_replica])
+        served_global = np.concatenate(served_parts)
+        order = np.argsort(served_global, kind="stable")
+        dropped_global = np.concatenate(dropped_parts)
+        dropped_order = np.argsort(dropped_global, kind="stable")
+        reasons_flat = [reason for part in reason_parts
+                        for reason in part]
+        merged = VectorizedDegradedReport(
+            offered=workload, offered_arrivals=trace,
+            served_index=served_global[order],
+            starts=np.concatenate(start_parts)[order],
+            finishes=np.concatenate(finish_parts)[order],
+            dropped_index=dropped_global[dropped_order],
+            dropped_reasons=tuple(reasons_flat[i]
+                                  for i in dropped_order.tolist()),
+            scenario=scenario, stats=stats, streaming=streaming)
+        report = DegradedScaleOutReport(
+            merged=merged, per_replica=tuple(per_replica),
+            replica_ids=tuple(replica_ids), assignment=assignment,
+            dispatch=self.dispatch, n_replicas=self.n_replicas,
+            stats=stats, scenario=scenario)
+        if telemetry is not None:
+            self._emit_telemetry(report, telemetry)
+            telemetry.metrics.gauge(
+                "faults.dropped_requests",
+                scenario=scenario.name).set(report.n_dropped)
+        return report
 
     # ------------------------------------------------------------------
     def _assign_least_loaded(self, arrivals: np.ndarray,
@@ -221,9 +434,14 @@ class MultiReplicaSimulator:
                     sub_report.utilization)
         spans, dropped = vectorized_report_to_spans(report.merged)
         assignment = report.assignment.tolist()
+        # Span names index the *served* substream; under a scenario
+        # the merged report maps those back to offered positions.
+        served_index = getattr(report.merged, "served_index", None)
         for span in spans:
             index = int(span.name[len("request["):-1])
-            track = (f"{span.track}[{assignment[index]}]")
+            position = (index if served_index is None
+                        else int(served_index[index]))
+            track = (f"{span.track}[{assignment[position]}]")
             telemetry.tracer.add_span(span.name, track, span.start,
                                       span.finish, **span.args)
         if dropped:

@@ -198,19 +198,19 @@ class ServingSimulator:
         point is avoiding per-request Python objects).  ``vectorized``
         forces the engine choice; the default picks the loop for small
         runs and the Lindley-recursion array engine — bit-identical by
-        contract — from :data:`AUTO_VECTORIZE_MIN_REQUESTS` up.
+        contract — from :data:`AUTO_VECTORIZE_MIN_REQUESTS` up.  The
+        same choice applies under a non-idle ``scenario``: large or
+        columnar runs take the piecewise-Lindley engine of
+        :mod:`repro.serving.piecewise`, ``vectorized=True`` forces it,
+        and ``vectorized=False`` forces the reference loop.
         ``streaming`` forces (True) or forbids (False) streaming
-        percentiles on the vectorized report.
+        percentiles on the vectorized report; combining it with the
+        degraded *loop* is a :class:`ConfigurationError` (the loop
+        materializes its report), never a silent no-op.
         """
         from repro.serving.vectorized import WorkloadVector, run_vectorized
 
         columnar = isinstance(requests, WorkloadVector)
-        if scenario is not None and not scenario.idle:
-            from repro.serving.degradation import run_degraded
-
-            if columnar:
-                requests = requests.to_requests()
-            return run_degraded(self, requests, arrivals, scenario)
         n_requests = (requests.n_requests if columnar
                       else len(requests))
         if n_requests != len(arrivals):
@@ -219,6 +219,26 @@ class ServingSimulator:
         if vectorized is None:
             vectorized = (columnar
                           or n_requests >= self.AUTO_VECTORIZE_MIN_REQUESTS)
+        if scenario is not None and not scenario.idle:
+            if vectorized:
+                from repro.serving.piecewise import (
+                    run_degraded_vectorized)
+
+                workload = (requests if columnar
+                            else WorkloadVector.from_requests(requests))
+                return run_degraded_vectorized(
+                    self, workload, arrivals, scenario,
+                    streaming=streaming)
+            if streaming is not None:
+                raise ConfigurationError(
+                    "streaming= requires the vectorized engine; the "
+                    "degraded loop materializes its report (pass "
+                    "vectorized=True or leave streaming=None)")
+            from repro.serving.degradation import run_degraded
+
+            if columnar:
+                requests = requests.to_requests()
+            return run_degraded(self, requests, arrivals, scenario)
         if vectorized:
             workload = (requests if columnar
                         else WorkloadVector.from_requests(requests))

@@ -220,15 +220,26 @@ class WorkloadVector:
 # ----------------------------------------------------------------------
 def _exact_finishes(arrivals: np.ndarray, services: np.ndarray,
                     boundaries: np.ndarray,
-                    out: np.ndarray) -> np.ndarray:
+                    out: np.ndarray,
+                    penalties: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
     """Finish times given busy-period ``boundaries``, replaying the
     loop's exact float-op order within every busy period.  Returns
-    the busy-period start indices (the caller reuses them)."""
+    the busy-period start indices (the caller reuses them).
+
+    With ``penalties`` the per-request finish is the *two*-addition
+    fold ``(f + s_i) + p_i`` — the degraded loop's
+    ``start + plan.latency + penalty`` — so every replay mode below
+    performs two adds per request in the loop's exact order.
+    """
     n = arrivals.size
     segment_starts = np.flatnonzero(boundaries)
-    # At a busy-period start the loop does one add: a_j + s_j.
+    # At a busy-period start the loop does one add: a_j + s_j
+    # (then + p_j when penalties ride along).
     out[segment_starts] = (arrivals[segment_starts]
                            + services[segment_starts])
+    if penalties is not None:
+        out[segment_starts] += penalties[segment_starts]
     lengths = np.diff(np.append(segment_starts, n))
     long_mask = lengths > _LONG_SEGMENT
     # Short busy periods advance in lockstep: step k extends every
@@ -254,19 +265,34 @@ def _exact_finishes(arrivals: np.ndarray, services: np.ndarray,
             cut = new_cut
         index = short_starts + step
         np.add(running, services[index], out=running)
+        if penalties is not None:
+            np.add(running, penalties[index], out=running)
         out[index] = running
     # Long busy periods are one sequential scan each: numpy's
     # ``add.accumulate`` folds left-to-right, matching the loop.
+    # With penalties the fold interleaves (s_1, p_1, s_2, p_2, ...)
+    # into one buffer whose accumulate performs both adds per
+    # request in order; finishes are the odd positions.
     for start, length in zip(segment_starts[long_mask].tolist(),
                              lengths[long_mask].tolist()):
         end = start + length
-        out[start + 1:end] = services[start + 1:end]
-        np.add.accumulate(out[start:end], out=out[start:end])
+        if penalties is None:
+            out[start + 1:end] = services[start + 1:end]
+            np.add.accumulate(out[start:end], out=out[start:end])
+            continue
+        buffer = np.empty(2 * length)
+        buffer[0] = arrivals[start] + services[start]
+        buffer[1::2] = penalties[start:end]
+        buffer[2::2] = services[start + 1:end]
+        np.add.accumulate(buffer, out=buffer)
+        out[start:end] = buffer[1::2]
     return segment_starts
 
 
 def lindley_timeline(arrivals: Sequence[float],
-                     services: Sequence[float]
+                     services: Sequence[float],
+                     penalties: Optional[Sequence[float]] = None,
+                     free_at: float = 0.0
                      ) -> Tuple[np.ndarray, np.ndarray]:
     """(starts, finishes) of the FIFO timeline, bit-identical to the
     request loop ``start = max(arrival, free_at); finish = start + s``.
@@ -275,20 +301,36 @@ def lindley_timeline(arrivals: Sequence[float],
     busy periods; each is then replayed with the loop's exact op
     order, and the boundaries are verified against the exact finishes
     until they are a fixed point (almost always immediately).
+
+    ``penalties`` adds a second per-request addition after the
+    service add — the degraded loop's ``(start + latency) + penalty``
+    — keeping the two-operation float order intact.  ``free_at``
+    carries the queue backlog from a previous piecewise segment: the
+    first start is clamped to it, exactly as the loop's running
+    ``free_at`` would.  Only the first arrival needs the clamp —
+    every later ``f_{i-1}`` already incorporates it.
     """
     a = np.asarray(arrivals, dtype=np.float64)
     s = np.asarray(services, dtype=np.float64)
     if a.shape != s.shape or a.ndim != 1:
         raise ConfigurationError(
             "arrivals and services must be equal-length flat arrays")
+    p: Optional[np.ndarray] = None
+    if penalties is not None:
+        p = np.asarray(penalties, dtype=np.float64)
+        if p.shape != a.shape:
+            raise ConfigurationError(
+                "penalties must match arrivals in length")
     n = a.size
     if n == 0:
         return np.empty(0), np.empty(0)
-    # The loop seeds free_at = 0.0, so the first start is clamped.
-    if a[0] < 0.0:
+    # The loop clamps the first start to its running free_at (0.0 on
+    # a fresh queue).
+    if a[0] < free_at:
         a = a.copy()
-        a[0] = 0.0
-    cumulative = np.add.accumulate(s)
+        a[0] = free_at
+    effective = s if p is None else s + p
+    cumulative = np.add.accumulate(effective)
     # slack_i = a_i - S_{i-1}; its running max plus S_i is the
     # algebraic finish estimate.  The boundary guess
     # ``a_{i+1} >= S_i + runmax_i`` is evaluated in slack space as
@@ -304,7 +346,8 @@ def lindley_timeline(arrivals: Sequence[float],
     np.greater_equal(slack[1:], running_max[:-1], out=boundaries[1:])
     finishes = np.empty(n)
     for __ in range(_MAX_REFINEMENTS):
-        segment_starts = _exact_finishes(a, s, boundaries, out=finishes)
+        segment_starts = _exact_finishes(a, s, boundaries, out=finishes,
+                                         penalties=p)
         check = np.empty(n, dtype=bool)
         check[0] = True
         np.greater_equal(a[1:], finishes[:-1], out=check[1:])
@@ -319,12 +362,17 @@ def lindley_timeline(arrivals: Sequence[float],
     starts = np.empty(n)
     arrival_list = a.tolist()
     service_list = s.tolist()
-    free_at = 0.0
+    penalty_list = p.tolist() if p is not None else None
+    busy_until = free_at
     for i in range(n):
-        start = arrival_list[i] if arrival_list[i] >= free_at else free_at
-        free_at = start + service_list[i]
+        start = (arrival_list[i] if arrival_list[i] >= busy_until
+                 else busy_until)
+        finish = start + service_list[i]
+        if penalty_list is not None:
+            finish = finish + penalty_list[i]
+        busy_until = finish
         starts[i] = start
-        finishes[i] = free_at
+        finishes[i] = finish
     return starts, finishes
 
 
@@ -348,12 +396,16 @@ class VectorizedServingReport:
     equivalence tests, not the million-request path.
     """
 
+    #: Subclasses that can legitimately serve zero requests (e.g. a
+    #: degraded run that sheds everything) flip this class attribute.
+    _allow_empty = False
+
     def __init__(self, workload: WorkloadVector, arrivals: np.ndarray,
                  starts: np.ndarray, finishes: np.ndarray,
                  streaming: Optional[bool] = None,
                  exact_percentile_limit: int =
                  DEFAULT_EXACT_PERCENTILE_LIMIT) -> None:
-        if arrivals.size == 0:
+        if arrivals.size == 0 and not self._allow_empty:
             raise ConfigurationError("report needs at least one request")
         if not (arrivals.size == starts.size == finishes.size
                 == workload.n_requests):

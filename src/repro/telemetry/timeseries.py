@@ -637,10 +637,14 @@ def timeseries_from_report(report, *,
             report, grid=grid, n_windows=n_windows, window_s=window_s,
             percentile_stride=percentile_stride).merged
     if isinstance(report, VectorizedServingReport):
+        # Degraded array-backed reports expose the shed substream's
+        # arrival timestamps; they populate the ``dropped`` channel
+        # exactly like the loop report's drop records.
         return compute_timeseries(
             report.arrivals, report.starts, report.finishes,
             grid=grid, n_windows=n_windows, window_s=window_s,
             weights={"tokens": report.workload.tokens_per_request()},
+            dropped_arrivals=getattr(report, "dropped_arrivals", None),
             assume_sorted=assume_sorted,
             percentile_stride=percentile_stride)
     served = report.served
@@ -707,10 +711,19 @@ def fleet_timeseries(report, *,
     histograms: Dict[int, StreamingHistogram] = {}
     merged_series: Optional[ServingTimeseries] = None
     merged_histogram = StreamingHistogram("serving.latency_s")
+    orphan_drops: List[np.ndarray] = []
     for replica, sub in zip(report.replica_ids, report.per_replica):
+        shed = getattr(sub, "dropped_arrivals", None)
+        if sub.n_served == 0:
+            # A fully-shed replica has no timeline to window, but its
+            # drops still belong on the fleet's ``dropped`` channel.
+            if shed is not None and shed.size:
+                orphan_drops.append(shed)
+            continue
         series = compute_timeseries(
             sub.arrivals, sub.starts, sub.finishes, grid=grid,
             weights={"tokens": sub.workload.tokens_per_request()},
+            dropped_arrivals=shed,
             assume_sorted=True, percentile_stride=percentile_stride)
         per_replica[replica] = series
         merged_series = (series if merged_series is None
@@ -722,6 +735,13 @@ def fleet_timeseries(report, *,
         merged_histogram.merge(sketch)
     if merged_series is None:
         raise ConfigurationError("fleet report served no requests")
+    if orphan_drops:
+        extra = np.sort(np.concatenate(orphan_drops))
+        counts = np.diff(_edge_counts(extra, merged_series.grid.edges))
+        if merged_series.dropped is None:
+            merged_series.dropped = counts
+        else:
+            merged_series.dropped = merged_series.dropped + counts
     return FleetTimeseries(merged=merged_series,
                            per_replica=per_replica,
                            replica_histograms=histograms,

@@ -182,7 +182,8 @@ class TestOptimalPolicyCache:
 
     def test_cache_stats_lists_both_caches(self):
         names = {entry["cache"] for entry in cache_stats()}
-        assert names == {"layer_latency", "optimal_policy"}
+        assert names == {"layer_latency", "optimal_policy", "estimate",
+                         "stall_outcome"}
 
 
 class TestEstimatorCacheProperty:

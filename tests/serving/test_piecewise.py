@@ -1,0 +1,588 @@
+"""Piecewise-Lindley degraded engine: bit-identity with the loop.
+
+The contract under test is the one the module docstring of
+:mod:`repro.serving.piecewise` states: on identical inputs the
+piecewise engine and the reference loop produce bit-identical
+timelines, drop records, :class:`FaultStats`, and telemetry rows —
+across every built-in preset, across fault-window boundary edge
+cases, and through the multi-replica dispatcher.  Alongside ride the
+slow-path regression pins: the admission probe's depth counting and
+backoff accounting, pooled (not averaged) fleet percentiles, and the
+``run(vectorized=..., streaming=...)`` dispatch rules.
+"""
+
+import math
+import random
+from bisect import bisect_right
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import LiaEstimator
+from repro.errors import ConfigurationError
+from repro.faults.scenarios import builtin_scenarios, get_scenario
+from repro.faults.spec import (AdmissionPolicy, FaultEvent, FaultKind,
+                               FaultScenario, RetryPolicy)
+from repro.models.workload import InferenceRequest
+from repro.serving import (DegradedScaleOutReport, DegradedServingReport,
+                           MultiReplicaSimulator, ServingSimulator,
+                           VectorizedDegradedReport, WorkloadVector,
+                           arrivals_poisson, lindley_timeline,
+                           run_degraded, run_degraded_vectorized)
+from repro.serving.degradation import DegradationController
+from repro.serving.piecewise import _apply_stall_ops, _stall_outcome
+from repro.telemetry.runtime import Telemetry, activate
+from repro.telemetry.timeseries import (fleet_timeseries,
+                                        timeseries_from_report)
+
+SHAPES = [InferenceRequest(8, 512, 64), InferenceRequest(4, 256, 32),
+          InferenceRequest(1, 128, 16)]
+
+
+@pytest.fixture
+def simulator(opt_30b, spr_a100, eval_config):
+    return ServingSimulator(LiaEstimator(opt_30b, spr_a100, eval_config))
+
+
+def _fresh(simulator):
+    return ServingSimulator(simulator.estimator)
+
+
+def _workload(n, seed=0):
+    return WorkloadVector.sample_mix(SHAPES, n, seed=seed)
+
+
+def _run_both(simulator, workload, arrivals, scenario):
+    loop = run_degraded(_fresh(simulator), workload.to_requests(),
+                        arrivals, scenario)
+    vec = run_degraded_vectorized(_fresh(simulator), workload,
+                                  arrivals, scenario)
+    return loop, vec
+
+
+def _assert_parity(loop, vec):
+    """Every bit-comparable surface of the two reports."""
+    assert isinstance(loop, DegradedServingReport)
+    assert isinstance(vec, VectorizedDegradedReport)
+    assert vec.arrivals.tolist() == [r.arrival for r in loop.served]
+    assert vec.starts.tolist() == [r.start for r in loop.served]
+    assert vec.finishes.tolist() == [r.finish for r in loop.served]
+    assert vec.served_index.tolist() == list(loop.served_index)
+    assert vec.dropped_index.tolist() == list(loop.dropped_index)
+    assert [d.arrival for d in vec.dropped] == \
+        [d.arrival for d in loop.dropped]
+    assert [d.reason for d in vec.dropped] == \
+        [d.reason for d in loop.dropped]
+    assert [d.request for d in vec.dropped] == \
+        [d.request for d in loop.dropped]
+    assert vec.stats.as_dict() == loop.stats.as_dict()
+    assert vec.n_offered == loop.n_offered
+    assert vec.drop_rate == loop.drop_rate
+    assert vec.makespan == loop.makespan
+    assert vec.mean_queue_delay == loop.mean_queue_delay
+    if loop.served:
+        assert vec.utilization == loop.utilization
+        for fraction in (0.25, 0.5, 0.95, 0.99, 1.0):
+            assert vec.latency_percentile(fraction) == \
+                loop.latency_percentile(fraction)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: every built-in preset is bit-identical across engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(builtin_scenarios()))
+def test_presets_bit_identical(simulator, name):
+    scenario = get_scenario(name)
+    workload = _workload(300, seed=3)
+    arrivals = arrivals_poisson(300, 2.0, seed=3)
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+
+
+def _telemetry_rows(telemetry):
+    return [row for row in telemetry.metrics.snapshot()
+            if str(row["metric"]).startswith(("serving.", "faults."))]
+
+
+def _span_set(telemetry):
+    return sorted((s.name, s.track, s.start, s.finish,
+                   tuple(sorted(s.args.items())))
+                  for s in telemetry.tracer.spans)
+
+
+@pytest.mark.parametrize("name", ["pcie-flaky", "gpu-pressure",
+                                  "noisy-neighbor"])
+def test_preset_telemetry_rows_and_spans_engine_invariant(simulator, name):
+    scenario = get_scenario(name)
+    workload = _workload(120, seed=5)
+    arrivals = arrivals_poisson(120, 2.0, seed=5)
+    t_loop, t_vec = Telemetry(), Telemetry()
+    with activate(t_loop):
+        run_degraded(_fresh(simulator), workload.to_requests(),
+                     arrivals, scenario)
+    with activate(t_vec):
+        run_degraded_vectorized(_fresh(simulator), workload, arrivals,
+                                scenario)
+    assert _telemetry_rows(t_loop) == _telemetry_rows(t_vec)
+    assert _span_set(t_loop) == _span_set(t_vec)
+
+
+# ----------------------------------------------------------------------
+# Segment-boundary carry-over property tests
+# ----------------------------------------------------------------------
+def test_window_edges_exactly_on_arrivals(simulator):
+    """Fault windows opening and closing exactly on arrival
+    timestamps — the half-open [start, end) boundary must cut the
+    same requests in both engines."""
+    arrivals = [0.5 * i for i in range(80)]
+    workload = _workload(80, seed=7)
+    scenario = FaultScenario(
+        name="edge-on-arrival", seed=7,
+        events=(
+            # Opens exactly at arrivals[20], closes exactly at
+            # arrivals[40].
+            FaultEvent(FaultKind.PCIE_DOWNSHIFT, start=arrivals[20],
+                       duration=arrivals[40] - arrivals[20],
+                       magnitude=0.4),
+            # A stall window that closes exactly where the next
+            # performance window opens.
+            FaultEvent(FaultKind.PCIE_STALL, start=arrivals[10],
+                       duration=arrivals[20] - arrivals[10],
+                       magnitude=0.3),
+            FaultEvent(FaultKind.GPU_HBM_PRESSURE, start=arrivals[50],
+                       duration=arrivals[60] - arrivals[50],
+                       magnitude=0.3),
+        ),
+        chunks_per_request=6)
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+
+
+def test_near_zero_windows_bit_identical(simulator):
+    """1e-9-second windows: at most one request can start inside,
+    and both engines must agree on whether one does."""
+    arrivals = [0.25 * i for i in range(60)]
+    workload = _workload(60, seed=11)
+    scenario = FaultScenario(
+        name="near-zero", seed=11,
+        events=(
+            FaultEvent(FaultKind.CXL_CONTENTION, start=arrivals[15],
+                       duration=1e-9, magnitude=0.5),
+            FaultEvent(FaultKind.PCIE_STALL, start=arrivals[30],
+                       duration=1e-9, magnitude=1.0),
+            FaultEvent(FaultKind.PCIE_DOWNSHIFT, start=7.123456,
+                       duration=1e-9, magnitude=0.25),
+        ),
+        chunks_per_request=4)
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+
+
+def test_zero_length_windows_are_unconstructible():
+    """Zero- and negative-duration windows fail at construction, so
+    neither engine can ever see a degenerate segment."""
+    for duration in (0.0, -1.0):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.PCIE_DOWNSHIFT, start=1.0,
+                       duration=duration, magnitude=0.5)
+
+
+def _fuzz_scenario(seed):
+    """Random overlapping windows from several fault kinds."""
+    rng = random.Random(seed)
+    events = []
+    for kind in (FaultKind.PCIE_DOWNSHIFT, FaultKind.GPU_HBM_PRESSURE,
+                 FaultKind.CXL_CONTENTION):
+        for __ in range(rng.randint(1, 2)):
+            start = rng.uniform(0.0, 25.0)
+            duration = rng.uniform(0.5, 20.0)
+            if kind is FaultKind.GPU_HBM_PRESSURE:
+                magnitude = rng.uniform(0.1, 0.5)
+            else:
+                magnitude = rng.uniform(0.3, 0.9)
+            events.append(FaultEvent(kind, start=start,
+                                     duration=duration,
+                                     magnitude=magnitude))
+    events.append(FaultEvent(FaultKind.PCIE_STALL,
+                             start=rng.uniform(0.0, 15.0),
+                             duration=rng.uniform(1.0, 20.0),
+                             magnitude=rng.uniform(0.02, 0.15)))
+    return FaultScenario(name=f"fuzz-{seed}", seed=seed,
+                         events=tuple(events), chunks_per_request=6)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_overlapping_windows_fuzz_bit_identity(simulator, seed):
+    """Randomized overlapping windows of mixed kinds: the regime
+    segmentation (cuts at every event start/end) must replay the
+    loop's per-request signature probing exactly, including backlog
+    carried across each segment boundary."""
+    rng = random.Random(1000 + seed)
+    n = 120
+    arrivals = sorted(rng.uniform(0.0, 40.0) for __ in range(n))
+    workload = _workload(n, seed=seed)
+    scenario = _fuzz_scenario(seed)
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+
+
+def test_backlog_carries_across_boundary(simulator):
+    """A burst arriving inside a window must push starts past the
+    window's end; requests starting after the edge get the healthy
+    plan even though they arrived during the fault."""
+    arrivals = [0.0] * 30 + [100.0 + i for i in range(5)]
+    workload = WorkloadVector.from_requests(
+        [InferenceRequest(8, 512, 64)] * 35)
+    base_latency = _fresh(simulator).estimator.estimate(
+        InferenceRequest(8, 512, 64)).latency
+    scenario = FaultScenario(
+        name="carry-over", seed=2,
+        events=(FaultEvent(FaultKind.PCIE_DOWNSHIFT, start=0.0,
+                           duration=base_latency * 3.0,
+                           magnitude=0.25),))
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+    # The window outlives fewer than all 30 burst requests, so some
+    # started degraded and some healthy: both plans were exercised.
+    assert vec.stats.policy_resolves > 0
+    assert vec.stats.policy_resolves < 30
+
+
+# ----------------------------------------------------------------------
+# The Lindley kernel itself (penalties + free_at carry-in)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+def test_lindley_kernel_matches_scalar_fold(seed):
+    rng = random.Random(seed)
+    n = 200
+    arrivals = np.cumsum([rng.uniform(0.0, 0.3) for __ in range(n)])
+    services = np.array([rng.uniform(0.01, 0.4) for __ in range(n)])
+    penalties = np.array([0.0 if rng.random() < 0.5
+                          else rng.uniform(0.0, 0.2) for __ in range(n)])
+    free_at = rng.uniform(0.0, 2.0)
+    starts, finishes = lindley_timeline(arrivals, services,
+                                        penalties=penalties,
+                                        free_at=free_at)
+    clock = free_at
+    for i in range(n):
+        start = arrivals[i] if arrivals[i] >= clock else clock
+        # The loop's exact two-addition order:
+        finish = (start + services[i]) + penalties[i]
+        assert starts[i] == start
+        assert finishes[i] == finish
+        clock = finish
+
+
+# ----------------------------------------------------------------------
+# Stall-outcome replication (transfer_penalty == _stall_outcome)
+# ----------------------------------------------------------------------
+def test_stall_outcome_replays_transfer_penalty(simulator):
+    scenario = FaultScenario(
+        name="always-stall", seed=13,
+        events=(FaultEvent(FaultKind.PCIE_STALL, magnitude=0.3),),
+        retry=RetryPolicy(max_retries=2, timeout_s=0.05,
+                          backoff_base_s=0.01),
+        chunks_per_request=5)
+    live = DegradationController(_fresh(simulator), scenario)
+    shadow = DegradationController(_fresh(simulator), scenario)
+    hit = False
+    for index in range(40):
+        penalty = live.transfer_penalty(2.0, index, 5)
+        expected, ops = _stall_outcome(scenario, 0.3, index, 5)
+        assert penalty == expected
+        if ops:
+            hit = True
+            _apply_stall_ops(shadow, index, 2.0, ops)
+    assert hit  # p=0.3 over 200 chunk draws: stalls certainly occurred
+    assert shadow.stats.as_dict() == live.stats.as_dict()
+
+
+def test_stall_outcome_trivial_cases():
+    scenario = FaultScenario(name="s", seed=0)
+    assert _stall_outcome(scenario, 0.0, 5, 8) == (0.0, ())
+    assert _stall_outcome(scenario, 0.5, 5, 0) == (0.0, ())
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: admission-probe regression pins
+# ----------------------------------------------------------------------
+def _admission_controller(simulator, max_queue_depth,
+                          max_deferrals=3):
+    scenario = FaultScenario(
+        name="adm", seed=5,
+        admission=AdmissionPolicy(max_queue_depth=max_queue_depth,
+                                  max_deferrals=max_deferrals))
+    return DegradationController(_fresh(simulator), scenario)
+
+
+def test_admission_depth_ignores_finished_requests(simulator):
+    controller = _admission_controller(simulator, max_queue_depth=1)
+    # Three admitted requests, all finished before this arrival:
+    # depth 0, admitted immediately, no deferral.
+    assert controller.admit(5.0, 0, [1.0, 2.0, 3.0]) == 5.0
+    assert controller.stats.deferred == 0
+    assert controller.stats.backoff_seconds == 0.0
+
+
+def test_admission_finish_exactly_at_probe_counts_as_done(simulator):
+    # The probe counts strictly-later finishes (f > effective); a
+    # request finishing exactly at the arrival has left the queue.
+    controller = _admission_controller(simulator, max_queue_depth=1)
+    assert controller.admit(5.0, 0, [5.0]) == 5.0
+    assert controller.stats.deferred == 0
+
+
+def test_admission_deferral_admits_when_queue_drains(simulator):
+    # Depth 1 at arrival, but the pending request finishes during the
+    # first backoff: exactly one deferral, then admitted.
+    controller = _admission_controller(simulator, max_queue_depth=1)
+    effective = controller.admit(5.0, 0, [5.005])
+    assert effective == 5.0 + 0.01
+    assert controller.stats.deferred == 1
+    assert controller.stats.dropped == 0
+    assert controller.stats.backoff_seconds == 0.01
+
+
+def test_admission_shed_charges_exactly_max_deferrals_backoffs(simulator):
+    """The final probe that ends in a shed adds no extra backoff:
+    ``backoff_seconds`` counts exactly ``max_deferrals`` delays."""
+    controller = _admission_controller(simulator, max_queue_depth=1)
+    assert controller.admit(5.0, 0, [100.0]) is None
+    assert controller.stats.deferred == 3
+    assert controller.stats.dropped == 1
+    # The exact left-to-right fold of the three backoff delays.
+    expected = 0.0
+    for attempt in range(3):
+        expected += 0.01 * 2.0 ** attempt
+    assert controller.stats.backoff_seconds == expected
+
+
+def test_shed_requests_never_inflate_later_probes(simulator):
+    """Shed requests never enter the finish list, so queue depth
+    counts only admitted-unfinished work: with depth bound 1 and a
+    server busy far beyond every backoff horizon, exactly one request
+    is served and each of the others sheds after 3 deferrals."""
+    n = 12
+    requests = [InferenceRequest(8, 512, 64)] * n
+    arrivals = [0.0] * n
+    scenario = FaultScenario(
+        name="front-door", seed=9,
+        admission=AdmissionPolicy(max_queue_depth=1, max_deferrals=3))
+    loop = run_degraded(_fresh(simulator), requests, arrivals, scenario)
+    assert len(loop.served) == 1
+    assert len(loop.dropped) == n - 1
+    assert loop.stats.deferred == 3 * (n - 1)
+    expected = 0.0
+    for __ in range(n - 1):
+        for attempt in range(3):
+            expected += 0.01 * 2.0 ** attempt
+    assert loop.stats.backoff_seconds == expected
+    # And the sequential vectorized kernel reproduces it bit for bit.
+    vec = run_degraded_vectorized(
+        _fresh(simulator), WorkloadVector.from_requests(requests),
+        arrivals, scenario)
+    _assert_parity(loop, vec)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_depth_probe_bisect_matches_linear_scan(seed):
+    """The binary-search depth count equals the loop's original
+    linear scan for any nondecreasing finish list."""
+    rng = random.Random(seed)
+    finishes = sorted(round(rng.uniform(0.0, 10.0), 3)
+                      for __ in range(60))
+    for __ in range(200):
+        effective = round(rng.uniform(-1.0, 11.0), 3)
+        fast = len(finishes) - bisect_right(finishes, effective)
+        slow = sum(1 for f in finishes if f > effective)
+        assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: run() dispatch honors vectorized=/streaming=
+# ----------------------------------------------------------------------
+def test_run_vectorized_true_is_honored_under_scenario(simulator):
+    scenario = get_scenario("gpu-pressure")
+    workload = _workload(50, seed=1)
+    arrivals = arrivals_poisson(50, 2.0, seed=1)
+    vec = _fresh(simulator).run(workload.to_requests(), arrivals,
+                                scenario=scenario, vectorized=True)
+    assert isinstance(vec, VectorizedDegradedReport)
+    loop = _fresh(simulator).run(workload.to_requests(), arrivals,
+                                 scenario=scenario, vectorized=False)
+    assert isinstance(loop, DegradedServingReport)
+    _assert_parity(loop, vec)
+
+
+def test_run_columnar_workload_takes_piecewise_engine(simulator):
+    scenario = get_scenario("cxl-contention")
+    workload = _workload(50, seed=2)
+    arrivals = arrivals_poisson(50, 2.0, seed=2)
+    report = _fresh(simulator).run(workload, arrivals,
+                                   scenario=scenario)
+    assert isinstance(report, VectorizedDegradedReport)
+
+
+def test_run_auto_vectorize_threshold_applies_to_degraded(simulator):
+    scenario = get_scenario("pcie-downshift")
+    sim = _fresh(simulator)
+    sim.AUTO_VECTORIZE_MIN_REQUESTS = 8
+    workload = _workload(10, seed=3)
+    arrivals = arrivals_poisson(10, 2.0, seed=3)
+    over = sim.run(workload.to_requests(), arrivals, scenario=scenario)
+    assert isinstance(over, VectorizedDegradedReport)
+    under = sim.run(workload.to_requests()[:4], arrivals[:4],
+                    scenario=scenario)
+    assert isinstance(under, DegradedServingReport)
+    assert not isinstance(under, VectorizedDegradedReport)
+
+
+def test_run_streaming_with_degraded_loop_raises(simulator):
+    scenario = get_scenario("pcie-downshift")
+    workload = _workload(10, seed=4)
+    arrivals = arrivals_poisson(10, 2.0, seed=4)
+    with pytest.raises(ConfigurationError, match="streaming"):
+        _fresh(simulator).run(workload.to_requests(), arrivals,
+                              scenario=scenario, vectorized=False,
+                              streaming=True)
+    # streaming works fine on the piecewise engine.
+    report = _fresh(simulator).run(workload.to_requests(), arrivals,
+                                   scenario=scenario, vectorized=True,
+                                   streaming=False)
+    assert isinstance(report, VectorizedDegradedReport)
+
+
+# ----------------------------------------------------------------------
+# Multi-replica degraded dispatch
+# ----------------------------------------------------------------------
+def _assert_fleet_parity(loop_fleet, vec_fleet):
+    assert isinstance(loop_fleet, DegradedScaleOutReport)
+    assert isinstance(vec_fleet, DegradedScaleOutReport)
+    assert np.array_equal(loop_fleet.merged.starts,
+                          vec_fleet.merged.starts)
+    assert np.array_equal(loop_fleet.merged.finishes,
+                          vec_fleet.merged.finishes)
+    assert np.array_equal(loop_fleet.merged.served_index,
+                          vec_fleet.merged.served_index)
+    assert np.array_equal(loop_fleet.merged.dropped_index,
+                          vec_fleet.merged.dropped_index)
+    assert loop_fleet.merged.dropped_reasons == \
+        vec_fleet.merged.dropped_reasons
+    assert loop_fleet.stats.as_dict() == vec_fleet.stats.as_dict()
+    assert loop_fleet.n_dropped == vec_fleet.n_dropped
+    if loop_fleet.merged.n_served:
+        for fraction in (0.5, 0.95, 1.0):
+            assert loop_fleet.latency_percentile(fraction) == \
+                vec_fleet.latency_percentile(fraction)
+        assert loop_fleet.mean_queue_delay == vec_fleet.mean_queue_delay
+
+
+@pytest.mark.parametrize("name", ["gpu-pressure", "pcie-flaky",
+                                  "noisy-neighbor"])
+def test_fleet_degraded_engines_bit_identical(simulator, name):
+    scenario = get_scenario(name)
+    workload = _workload(200, seed=6)
+    arrivals = arrivals_poisson(200, 3.0, seed=6)
+    fleet = MultiReplicaSimulator(simulator.estimator, 4)
+    loop_fleet = fleet.run(workload, arrivals, scenario=scenario,
+                           vectorized=False)
+    vec_fleet = fleet.run(workload, arrivals, scenario=scenario,
+                          vectorized=True)
+    _assert_fleet_parity(loop_fleet, vec_fleet)
+
+
+def test_fleet_single_replica_matches_single_server(simulator):
+    """k=1 under a scenario is the single-server degraded run, bit
+    for bit — the merge is the identity."""
+    scenario = get_scenario("gpu-pressure")
+    workload = _workload(120, seed=8)
+    arrivals = arrivals_poisson(120, 2.0, seed=8)
+    fleet = MultiReplicaSimulator(simulator.estimator, 1)
+    fleet_report = fleet.run(workload, arrivals, scenario=scenario)
+    single = run_degraded_vectorized(_fresh(simulator), workload,
+                                     arrivals, scenario)
+    assert np.array_equal(fleet_report.merged.starts, single.starts)
+    assert np.array_equal(fleet_report.merged.finishes, single.finishes)
+    assert fleet_report.stats.as_dict() == single.stats.as_dict()
+
+
+def test_fleet_degraded_error_paths(simulator):
+    scenario = get_scenario("gpu-pressure")
+    workload = _workload(20, seed=9)
+    arrivals = arrivals_poisson(20, 2.0, seed=9)
+    least = MultiReplicaSimulator(simulator.estimator, 2,
+                                  dispatch="least-loaded")
+    with pytest.raises(ConfigurationError, match="round-robin"):
+        least.run(workload, arrivals, scenario=scenario)
+    fleet = MultiReplicaSimulator(simulator.estimator, 2)
+    with pytest.raises(ConfigurationError, match="streaming"):
+        fleet.run(workload, arrivals, scenario=scenario,
+                  vectorized=False, streaming=True)
+    with pytest.raises(ConfigurationError):
+        fleet.run(workload, arrivals, vectorized=False)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: fleet percentiles pool, never average
+# ----------------------------------------------------------------------
+def test_scaleout_percentiles_pool_over_all_replicas(simulator):
+    workload = _workload(150, seed=10)
+    arrivals = arrivals_poisson(150, 1.5, seed=10)
+    report = MultiReplicaSimulator(simulator.estimator, 3).run(
+        workload, arrivals, streaming=False)
+    pooled = np.sort(report.merged.latencies)
+    for fraction in (0.5, 0.9, 0.95, 0.99, 1.0):
+        rank = min(pooled.size, max(1, math.ceil(fraction * pooled.size)))
+        assert report.latency_percentile(fraction) == \
+            float(pooled[rank - 1])
+        assert report.latency_percentile(fraction) == \
+            report.merged.latency_percentile(fraction)
+    delays = report.merged.starts - report.merged.arrivals
+    assert report.mean_queue_delay == report.merged.mean_queue_delay
+    assert report.mean_queue_delay == pytest.approx(float(delays.mean()))
+
+
+def test_degraded_scaleout_percentiles_pool(simulator):
+    scenario = get_scenario("noisy-neighbor")
+    workload = _workload(200, seed=12)
+    arrivals = arrivals_poisson(200, 3.0, seed=12)
+    report = MultiReplicaSimulator(simulator.estimator, 3).run(
+        workload, arrivals, scenario=scenario)
+    assert report.n_dropped > 0  # the preset sheds under this load
+    pooled = np.sort(report.merged.latencies)
+    rank = min(pooled.size, max(1, math.ceil(0.95 * pooled.size)))
+    assert report.latency_percentile(0.95) == float(pooled[rank - 1])
+    assert report.n_offered == workload.n_requests
+    assert report.drop_rate == report.n_dropped / report.n_offered
+
+
+# ----------------------------------------------------------------------
+# Windowed time-series stay engine-invariant (dropped channel too)
+# ----------------------------------------------------------------------
+def test_timeseries_engine_invariant_with_drops(simulator):
+    scenario = get_scenario("noisy-neighbor")
+    workload = _workload(200, seed=14)
+    arrivals = arrivals_poisson(200, 3.0, seed=14)
+    loop, vec = _run_both(simulator, workload, arrivals, scenario)
+    _assert_parity(loop, vec)
+    series_loop = timeseries_from_report(loop, n_windows=24)
+    series_vec = timeseries_from_report(vec, n_windows=24)
+    for channel in ("arrived", "started", "finished", "queue_depth",
+                    "busy_s"):
+        assert np.array_equal(getattr(series_loop, channel),
+                              getattr(series_vec, channel))
+    assert series_loop.dropped is not None
+    assert series_vec.dropped is not None
+    assert np.array_equal(series_loop.dropped, series_vec.dropped)
+    assert int(series_vec.dropped.sum()) == len(loop.dropped)
+
+
+def test_fleet_timeseries_counts_shed_requests(simulator):
+    scenario = get_scenario("noisy-neighbor")
+    workload = _workload(200, seed=15)
+    arrivals = arrivals_poisson(200, 3.0, seed=15)
+    report = MultiReplicaSimulator(simulator.estimator, 3).run(
+        workload, arrivals, scenario=scenario)
+    series = fleet_timeseries(report, n_windows=16)
+    assert series.merged.dropped is not None
+    assert int(series.merged.dropped.sum()) == report.n_dropped

@@ -27,7 +27,8 @@ def tracker():
 
 
 def _serving_report(speedup=80.0, overhead=0.05, quick=False,
-                    passed=True):
+                    passed=True, degraded_speedup=40.0,
+                    degraded_identical=True):
     return {
         "benchmark": "bench_serving",
         "workload": {"n_requests": 1_000_000},
@@ -35,9 +36,13 @@ def _serving_report(speedup=80.0, overhead=0.05, quick=False,
         "speedup_cold": speedup * 0.9,
         "bit_identical": True,
         "timeseries": {"overhead_fraction": overhead},
+        "degraded": {"speedup_mean": degraded_speedup,
+                     "bit_identical": degraded_identical},
         "gates": {"speedup_mean_min": None if quick else 50.0,
                   "bit_identical": True,
-                  "timeseries_overhead_max": None if quick else 0.10},
+                  "timeseries_overhead_max": None if quick else 0.10,
+                  "degraded_speedup_mean_min": None if quick else 20.0,
+                  "degraded_bit_identical": True},
         "pass": passed,
     }
 
@@ -59,6 +64,8 @@ def test_append_then_check_roundtrip(tracker, tmp_path):
     assert entry["benchmark"] == "bench_serving"
     assert entry["speedup_mean"] == 80.0
     assert entry["timeseries_overhead"] == 0.05
+    assert entry["degraded_speedup_mean"] == 40.0
+    assert entry["degraded_bit_identical"] is True
     assert entry["commit"] == "abc123"
     assert entry["quick"] is False
     assert tracker.main(["check", str(history),
@@ -79,6 +86,36 @@ def test_check_flags_speedup_regression(tracker, tmp_path, capsys):
     # Quick mode only holds the sanity floor, which 20x clears.
     assert tracker.main(["check", str(history),
                          "--committed", committed, "--quick"]) == 0
+
+
+def test_check_flags_degraded_speedup_regression(tracker, tmp_path,
+                                                 capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    regressed = _write(tmp_path / "regressed.json",
+                       _serving_report(degraded_speedup=12.0))
+    tracker.main(["append", str(history), regressed, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed]) == 1
+    assert "degraded speedup 12.0x under" in capsys.readouterr().err
+    # 12x clears the quick-mode sanity floor.
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 0
+
+
+def test_check_flags_degraded_identity_break(tracker, tmp_path,
+                                             capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    broken = _write(tmp_path / "broken.json",
+                    _serving_report(degraded_identical=False))
+    tracker.main(["append", str(history), broken, "--commit", ""])
+    # Identity is not a wall-clock gate: it binds even in quick mode.
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 1
+    assert "degraded engines" in capsys.readouterr().err
 
 
 def test_check_flags_overhead_regression_full_mode_only(
