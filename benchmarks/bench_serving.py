@@ -34,6 +34,14 @@ degraded reports are compared bit-for-bit: timelines, served/dropped
 substreams, every :class:`FaultStats` counter, and the summary
 statistics.
 
+A fifth phase times the **fleet** control plane
+(:mod:`repro.serving.fleet`): the ``replica-crash`` chaos scenario
+over a bursty arrival trace through the health-checked dispatcher,
+fingerprinting every rep (timelines, drop substream, control-plane
+counters) so the phase gates on exact determinism.  An untimed
+ablation rerun with the retry budget zeroed must strictly lose
+requests — proof that failover is load-bearing, not vacuous.
+
 The acceptance gates tracked by the repo:
 
 * mean speedup >= 50x on the million-request run
@@ -41,6 +49,8 @@ The acceptance gates tracked by the repo:
 * bit-identical reports, fault-free and degraded (always, including
   ``--quick``)
 * windowed-metrics overhead < 10% of the vectorized run (full mode)
+* fleet phase: deterministic reps, availability >= 99% with retries
+  on, strict request loss with retries off (always)
 
 Run: ``PYTHONPATH=src python benchmarks/bench_serving.py [--quick]``
 """
@@ -90,6 +100,15 @@ TS_OVERHEAD_MAX = 0.15
 #: Committed floor for the degraded (piecewise-Lindley) engine on the
 #: million-request composite run.
 DEGRADED_SPEEDUP_MIN = 20.0
+#: Fleet phase: the control plane is a sequential per-request Python
+#: pass, so it runs at a fixed size independent of the engine phases.
+FLEET_N_REQUESTS = 100_000
+QUICK_FLEET_N_REQUESTS = 10_000
+FLEET_REPLICAS = 4
+#: Availability floor for the replica-crash run with retries on (the
+#: observed value is 1.0 — the floor leaves room for scenario tuning
+#: without letting failover quietly rot).
+FLEET_AVAILABILITY_MIN = 0.99
 
 
 def composite_scenario(horizon: float) -> FaultScenario:
@@ -270,13 +289,84 @@ def _time_timeseries(vectorized, reps: int) -> Dict[str, object]:
             "series": series}
 
 
+def _time_fleet(estimator, n_requests: int,
+                reps: int) -> Dict[str, object]:
+    """Timed fleet-resilience phase: replica-crash chaos at scale.
+
+    Replays a bursty trace through the health-checked fleet
+    dispatcher while one replica crashes and recovers.  Every rep is
+    fingerprinted — timelines, drop substream, control-plane
+    counters, scale events — so the phase gates on exact determinism
+    rather than wall clock.  The untimed ablation rerun zeroes the
+    retry budget; it must strictly lose requests, proving the
+    failover path the timed runs exercise is load-bearing.
+    """
+    from dataclasses import replace
+
+    from repro.faults.fleet import (RedispatchPolicy,
+                                    get_fleet_scenario)
+    from repro.serving.fleet import FleetSimulator
+    from repro.workloads import get_trace
+
+    scenario = get_fleet_scenario("replica-crash")
+    trace = get_trace("bursty").scaled(n_requests).generate()
+    workload = WorkloadVector.sample_mix(SHAPES, n_requests, seed=SEED)
+    simulator = FleetSimulator(estimator, n_replicas=FLEET_REPLICAS,
+                               scenario=scenario)
+    simulator.run(workload, trace)  # warm-up (estimator caches)
+    times: List[float] = []
+    fingerprints = set()
+    report = None
+    for __ in range(reps):
+        gc.collect()
+        start = time.perf_counter()
+        report = simulator.run(workload, trace)
+        times.append(time.perf_counter() - start)
+        fingerprints.add(
+            (report.starts.tobytes(), report.finishes.tobytes(),
+             report.served_index.tobytes(),
+             report.dropped_index.tobytes(), report.dropped_reasons,
+             tuple(sorted(report.stats.as_dict().items())),
+             report.scale_events))
+    ablation = FleetSimulator(
+        estimator, n_replicas=FLEET_REPLICAS,
+        scenario=replace(
+            scenario,
+            redispatch=RedispatchPolicy(max_retries=0))).run(
+        workload, trace)
+    mean_s = statistics.mean(times)
+    return {
+        "config": (f"FleetSimulator(replica-crash, "
+                   f"k={FLEET_REPLICAS}, bursty trace)"),
+        "n_requests": n_requests,
+        "times_s": times,
+        "mean_s": mean_s,
+        "requests_per_s": n_requests / mean_s,
+        "availability": report.availability,
+        "n_dropped": report.n_dropped,
+        "deterministic": len(fingerprints) == 1,
+        "accounting_ok": (report.n_served + report.n_dropped
+                          == report.n_offered),
+        "stats": report.stats.as_dict(),
+        "ablation": {
+            "max_retries": 0,
+            "availability": ablation.availability,
+            "n_dropped": ablation.n_dropped,
+            "strictly_loses": (ablation.n_dropped > 0
+                               and ablation.availability
+                               < report.availability),
+        },
+    }
+
+
 def run(n_requests: int = N_REQUESTS, reps: int = REPS,
         quick: bool = False) -> Dict[str, object]:
     _tune_allocator()
     spec = get_model(MODEL)
     system = get_system(SYSTEM)
     config = LiaConfig(enforce_host_capacity=False)
-    simulator = ServingSimulator(LiaEstimator(spec, system, config))
+    estimator = LiaEstimator(spec, system, config)
+    simulator = ServingSimulator(estimator)
 
     # Untimed setup: both sides replay the same arrival trace in their
     # native format — the loop gets the object list and the Python
@@ -315,6 +405,13 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
                         / degraded_vec["mean_s"])
     degraded_stats = degraded_vec["report"].stats.as_dict()
     degraded_dropped = int(degraded_vec["report"].dropped_index.size)
+
+    fleet = _time_fleet(
+        estimator,
+        QUICK_FLEET_N_REQUESTS if quick else FLEET_N_REQUESTS, reps)
+    fleet_ok = (fleet["deterministic"] and fleet["accounting_ok"]
+                and fleet["availability"] >= FLEET_AVAILABILITY_MIN
+                and fleet["ablation"]["strictly_loses"])
 
     timeseries = _time_timeseries(vectorized, reps)
     overhead = timeseries["mean_s"] / vectorized["mean_s"]
@@ -372,6 +469,7 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
             "speedup_mean": degraded_speedup,
             "bit_identical": degraded_identical,
         },
+        "fleet": fleet,
         "timeseries": {
             "config": f"timeseries_from_report(n_windows={TS_WINDOWS}, "
                       "assume_sorted=True) + p50/p95/p99",
@@ -391,12 +489,17 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
                   "bit_identical": True,
                   "degraded_bit_identical": True,
                   "timeseries_overhead_max":
-                      None if quick else TS_OVERHEAD_MAX},
-        # Quick mode (CI smoke) gates only on bit-identity: shared CI
-        # machines make wall-clock gates flaky at small n.  The full
-        # million-request run holds the mean speedups to their floors
-        # and the windowed-metrics overhead under its ceiling.
-        "pass": (identical and degraded_identical
+                      None if quick else TS_OVERHEAD_MAX,
+                  "fleet_availability_min": FLEET_AVAILABILITY_MIN,
+                  "fleet_deterministic": True},
+        # Quick mode (CI smoke) gates only on the correctness
+        # invariants — bit-identity and the fleet phase (determinism,
+        # availability, the retry ablation): shared CI machines make
+        # wall-clock gates flaky at small n.  The full
+        # million-request run additionally holds the mean speedups to
+        # their floors and the windowed-metrics overhead under its
+        # ceiling.
+        "pass": (identical and degraded_identical and fleet_ok
                  and (quick
                       or (speedup_mean >= 50.0
                           and degraded_speedup >= DEGRADED_SPEEDUP_MIN
@@ -430,6 +533,14 @@ def main() -> int:
           f"{degraded['speedup_mean']:.1f}x; bit_identical="
           f"{degraded['bit_identical']}; dropped="
           f"{degraded['dropped_requests']}")
+    fleet = report["fleet"]
+    print(f"fleet ({fleet['n_requests']:,} requests, replica-crash): "
+          f"{fleet['mean_s']:.2f} s mean "
+          f"({fleet['requests_per_s']:,.0f} req/s), availability "
+          f"{fleet['availability']:.4%}, deterministic="
+          f"{fleet['deterministic']}; retries-off availability "
+          f"{fleet['ablation']['availability']:.4%} "
+          f"({fleet['ablation']['n_dropped']} dropped)")
     ts = report["timeseries"]
     print(f"windowed metrics: {ts['mean_s'] * 1e3:.1f} ms mean "
           f"({ts['overhead_fraction']:.1%} of the vectorized run); "

@@ -82,6 +82,14 @@ def entry_from_report(report: Dict[str, object],
     if isinstance(degraded, dict):
         entry["degraded_speedup_mean"] = degraded.get("speedup_mean")
         entry["degraded_bit_identical"] = degraded.get("bit_identical")
+    fleet = report.get("fleet")
+    if isinstance(fleet, dict):
+        entry["fleet_availability"] = fleet.get("availability")
+        entry["fleet_deterministic"] = fleet.get("deterministic")
+        ablation = fleet.get("ablation")
+        if isinstance(ablation, dict):
+            entry["fleet_ablation_loses"] = ablation.get(
+                "strictly_loses")
     workload = report.get("workload")
     if isinstance(workload, dict) and "n_requests" in workload:
         entry["n_requests"] = workload["n_requests"]
@@ -164,6 +172,21 @@ def check_against_committed(latest: Dict[str, object],
             failures.append(
                 f"{name}: degraded speedup {degraded_speedup:.1f}x "
                 f"under the {floor:g}x {kind}")
+    # Fleet gates are correctness invariants, never wall clock: they
+    # bind in quick mode too.
+    availability_gate = gates.get("fleet_availability_min")
+    availability = latest.get("fleet_availability")
+    if (availability_gate is not None and availability is not None
+            and availability < availability_gate):
+        failures.append(
+            f"{name}: fleet availability {availability:.4%} under "
+            f"the {availability_gate:.0%} gate")
+    if latest.get("fleet_deterministic") is False:
+        failures.append(f"{name}: fleet chaos run is not "
+                        f"deterministic across reps")
+    if latest.get("fleet_ablation_loses") is False:
+        failures.append(f"{name}: retry ablation no longer loses "
+                        f"requests — failover is not load-bearing")
     overhead_gate = gates.get("timeseries_overhead_max")
     overhead = latest.get("timeseries_overhead")
     if (not quick and overhead_gate is not None

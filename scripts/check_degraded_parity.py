@@ -2,11 +2,14 @@
 """Loop-vs-piecewise bit-identity sweep over every built-in preset.
 
 CI runs this after the unit suite as a larger-n backstop: for each
-scenario in :func:`repro.faults.scenarios.builtin_scenarios`, serve
-the same Poisson workload through the reference degraded loop and the
-piecewise-Lindley engine — single server and a 4-replica fleet — and
-fail (exit 1) on the first surface that is not bit-identical:
-timelines, served/dropped index maps, drop reasons,
+scenario in :func:`repro.faults.scenarios.builtin_scenarios` plus the
+admission-bounded presets below (a tight always-saturated queue and a
+deep mostly-open one, so both the batched attempt-zero probe path and
+the sequential drain fallback of the admission engine see thousands
+of requests), serve the same Poisson workload through the reference
+degraded loop and the piecewise-Lindley engine — single server and a
+4-replica fleet — and fail (exit 1) on the first surface that is not
+bit-identical: timelines, served/dropped index maps, drop reasons,
 :class:`FaultStats`, and the derived statistics (percentiles, queue
 delay, utilization).
 
@@ -32,6 +35,38 @@ import numpy as np
 
 MODEL = "opt-30b"
 SYSTEM = "spr-a100"
+
+
+def _admission_presets():
+    """Admission-bounded sweep presets (not builtin scenarios): a
+    tight queue that saturates at the sweep's arrival rate and a deep
+    one that stays mostly open, covering the admission engine's
+    sequential-drain and batched-probe regimes respectively."""
+    from repro.faults.spec import (AdmissionPolicy, FaultEvent,
+                                   FaultKind, FaultScenario,
+                                   RetryPolicy)
+
+    return {
+        "admission-tight": FaultScenario(
+            name="admission-tight", seed=7,
+            admission=AdmissionPolicy(max_queue_depth=2,
+                                      max_deferrals=2),
+            retry=RetryPolicy(max_retries=3, timeout_s=0.05,
+                              backoff_base_s=0.02,
+                              backoff_factor=2.0)),
+        "admission-deep": FaultScenario(
+            name="admission-deep", seed=8,
+            events=(
+                FaultEvent(kind=FaultKind.PCIE_STALL, magnitude=0.02),
+                FaultEvent(kind=FaultKind.GPU_HBM_PRESSURE,
+                           start=60.0, duration=240.0, magnitude=0.3),
+            ),
+            retry=RetryPolicy(max_retries=3, timeout_s=0.05,
+                              backoff_base_s=0.02,
+                              backoff_factor=2.0),
+            admission=AdmissionPolicy(max_queue_depth=64,
+                                      max_deferrals=3)),
+    }
 
 
 def _mismatches(label: str, loop, vec) -> List[str]:
@@ -130,8 +165,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 seed=args.seed)
     requests = workload.to_requests()
 
+    scenarios = {**builtin_scenarios(), **_admission_presets()}
     failures: List[str] = []
-    for name, scenario in sorted(builtin_scenarios().items()):
+    for name, scenario in sorted(scenarios.items()):
         started = time.perf_counter()
         loop = run_degraded(ServingSimulator(estimator), requests,
                             arrivals, scenario)
@@ -161,7 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for message in failures:
             print(f"FAIL {message}", file=sys.stderr)
         return 1
-    print(f"ok   all {len(builtin_scenarios())} presets bit-identical")
+    print(f"ok   all {len(scenarios)} presets bit-identical")
     return 0
 
 

@@ -15,6 +15,9 @@ Commands:
 * ``monitor`` — windowed serving observability: time-series metrics,
   SLO burn-rate alerts with fault attribution, Perfetto counter
   tracks, CSV, and an HTML dashboard (see docs/OBSERVABILITY.md).
+* ``fleet`` — fleet resilience: replica chaos with health-checked
+  failover and trace-driven reactive autoscaling (see
+  docs/ROBUSTNESS.md).
 * ``experiment`` — run experiment drivers and print (or export) the
   tables.
 """
@@ -245,6 +248,47 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--json", default="",
                          help="write the machine-readable monitoring "
                               "report here")
+
+    fleet = commands.add_parser(
+        "fleet", help="fleet resilience simulation: replica chaos, "
+                      "health-checked failover, and reactive "
+                      "autoscaling over a workload trace (see "
+                      "docs/ROBUSTNESS.md)")
+    fleet.add_argument("--preset", default="bursty-chaos",
+                       help="fleet preset pairing a trace with a "
+                            "chaos scenario (see --list-presets)")
+    fleet.add_argument("--list-presets", action="store_true",
+                       help="list built-in fleet presets and exit")
+    fleet.add_argument("--trace", default="",
+                       help="override the trace: a preset name "
+                            "(steady, diurnal, bursty, heavy-tail, "
+                            "sessions) or a spec file (JSON; YAML "
+                            "when pyyaml is installed)")
+    fleet.add_argument("--chaos", default="",
+                       help="override the chaos scenario: a preset "
+                            "name (see `repro fleet --list-presets`) "
+                            "or a spec file")
+    fleet.add_argument("--model", default="opt-30b")
+    fleet.add_argument("--system", default="spr-a100")
+    fleet.add_argument("--num-requests", type=int, default=0,
+                       help="override the trace's request count")
+    fleet.add_argument("--replicas", type=int, default=0,
+                       help="override the preset's initial fleet size")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="shape-mix seed (the trace carries its "
+                            "own seed)")
+    fleet.add_argument("--shape", action="append", default=[],
+                       metavar="B,L_IN,L_OUT",
+                       help="request shape in the mix (repeatable); "
+                            "default: a 4-shape tier-1 mix")
+    fleet.add_argument("--windows", type=int, default=64,
+                       help="time windows in the exported series")
+    fleet.add_argument("--json", default="",
+                       help="write the machine-readable fleet report "
+                            "here")
+    fleet.add_argument("--html", default="",
+                       help="write a self-contained HTML dashboard "
+                            "here")
 
     experiment = commands.add_parser(
         "experiment", help="run experiment drivers (paper tables and "
@@ -809,6 +853,126 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.energy.cost import CostModel
+    from repro.faults.fleet import (builtin_fleet_scenarios,
+                                    get_fleet_scenario,
+                                    load_fleet_scenario)
+    from repro.serving import WorkloadVector, builtin_fleet_presets, \
+        get_fleet_preset
+    from repro.workloads import builtin_traces, get_trace, load_trace
+
+    if args.list_presets:
+        for name, preset in builtin_fleet_presets().items():
+            mode = ("autoscale" if preset.autoscaler is not None
+                    else f"{preset.n_replicas} replicas")
+            print(f"{name}: trace={preset.trace.name} "
+                  f"chaos={preset.chaos.name} {mode}, "
+                  f"{preset.dispatch}")
+        print(f"traces: {', '.join(sorted(builtin_traces()))}")
+        print("chaos scenarios: "
+              f"{', '.join(sorted(builtin_fleet_scenarios()))}")
+        return 0
+
+    preset = get_fleet_preset(args.preset)
+    trace_spec = preset.trace
+    if args.trace:
+        trace_spec = (load_trace(args.trace)
+                      if os.path.exists(args.trace)
+                      else get_trace(args.trace))
+    chaos = preset.chaos
+    if args.chaos:
+        chaos = (load_fleet_scenario(args.chaos)
+                 if os.path.exists(args.chaos)
+                 else get_fleet_scenario(args.chaos))
+    if args.num_requests > 0:
+        trace_spec = trace_spec.scaled(args.num_requests)
+    n_replicas = args.replicas or preset.n_replicas
+
+    spec = get_model(args.model)
+    system = get_system(args.system)
+    estimator = LiaEstimator(spec, system,
+                             LiaConfig(enforce_host_capacity=False))
+    shapes = ([_parse_shape(spelled) for spelled in args.shape]
+              or [InferenceRequest(*shape)
+                  for shape in _SERVE_DEFAULT_SHAPES])
+    workload = WorkloadVector.sample_mix(
+        shapes, trace_spec.n_requests, seed=args.seed)
+    arrivals = trace_spec.generate()
+
+    from repro.serving import FleetSimulator
+
+    simulator = FleetSimulator(
+        estimator, n_replicas=n_replicas, scenario=chaos,
+        autoscaler=preset.autoscaler, dispatch=preset.dispatch)
+    report = simulator.run(workload, arrivals)
+    stats = report.stats
+    usd_per_hour = CostModel(system).usd_per_hour()
+
+    print(f"fleet {args.preset}: {spec.name} on {system.name}, "
+          f"trace {trace_spec.name} ({report.n_offered:,} requests), "
+          f"chaos {chaos.name}, {preset.dispatch} dispatch")
+    print(f"  served/dropped : {report.n_served:,} / "
+          f"{report.n_dropped:,} "
+          f"(availability {report.availability:.4%})")
+    print(f"  failover       : {stats.retries} retries, "
+          f"{stats.redispatched} re-dispatched, "
+          f"{stats.hedges} hedges ({stats.hedge_wins} won), "
+          f"{stats.breaker_ejections} breaker ejection(s)")
+    counts = report.replica_counts()
+    print(f"  replicas       : start {report.n_replicas_initial}, "
+          f"min {int(counts.min())}, max {int(counts.max())}, "
+          f"{stats.scale_ups} scale-up(s) / "
+          f"{stats.scale_downs} drain decision(s)")
+    p50 = report.latency_percentile(0.50)
+    p95 = report.latency_percentile(0.95)
+    print(f"  p50/p95        : {p50:.3f} / {p95:.3f} s "
+          f"(SLO p95 <= {preset.slo_p95_s:g} s)")
+    per_class = report.per_class_p95()
+    spelled = ", ".join(f"{name}: {value:.2f} s"
+                        for name, value in sorted(per_class.items()))
+    print(f"  per-class p95  : {spelled}")
+    cost = report.cost_per_million_requests(usd_per_hour)
+    print(f"  cost           : {report.replica_seconds:,.0f} "
+          f"replica-seconds, ${cost:,.2f} per million requests")
+
+    if args.json:
+        import json
+
+        payload = {
+            "preset": args.preset, "model": spec.name,
+            "system": system.name, "trace": trace_spec.name,
+            "dispatch": preset.dispatch,
+            "n_replicas_initial": report.n_replicas_initial,
+            "slo_p95_s": preset.slo_p95_s,
+            "p50_s": p50, "p95_s": p95,
+            "usd_per_hour_per_replica": usd_per_hour,
+            "cost_per_million_requests_usd": cost,
+        }
+        payload.update(report.to_dict())
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    if args.html:
+        from repro.telemetry import (SLOPolicy, evaluate_slo,
+                                     write_dashboard_html)
+
+        series = report.timeseries(n_windows=args.windows)
+        monitoring = evaluate_slo(
+            series, SLOPolicy(latency_threshold_s=preset.slo_p95_s))
+        path = write_dashboard_html(
+            args.html, monitoring,
+            title=f"fleet {args.preset}: {spec.name} on "
+                  f"{system.name}",
+            metadata={"preset": args.preset, "trace": trace_spec.name,
+                      "chaos": chaos.name,
+                      "availability": f"{report.availability:.4%}"})
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.export import default_drivers, to_csv
 
@@ -858,6 +1022,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "monitor":
             return _cmd_monitor(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
     except ReproError as error:

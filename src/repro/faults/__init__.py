@@ -13,6 +13,14 @@ transfer-retry accounting in :mod:`repro.faults.engine`.
 """
 
 from repro.faults.engine import TransferFaultModel
+from repro.faults.fleet import (FleetScenario, HealthPolicy,
+                                RedispatchPolicy, ReplicaFault,
+                                ReplicaFaultKind,
+                                builtin_fleet_scenarios,
+                                fleet_from_dict, fleet_to_dict,
+                                get_fleet_scenario,
+                                load_fleet_scenario,
+                                replica_fault_from_dict)
 from repro.faults.injector import (FaultInjector, apply_faults,
                                    make_injector)
 from repro.faults.scenarios import builtin_scenarios, get_scenario
@@ -28,15 +36,26 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultScenario",
+    "FleetScenario",
+    "HealthPolicy",
     "PERFORMANCE_KINDS",
+    "RedispatchPolicy",
+    "ReplicaFault",
+    "ReplicaFaultKind",
     "RetryPolicy",
     "TransferFaultModel",
     "apply_faults",
+    "builtin_fleet_scenarios",
     "builtin_scenarios",
     "event_from_dict",
+    "fleet_from_dict",
+    "fleet_to_dict",
+    "get_fleet_scenario",
     "get_scenario",
+    "load_fleet_scenario",
     "load_scenario",
     "make_injector",
+    "replica_fault_from_dict",
     "scenario_from_dict",
     "scenario_to_dict",
 ]

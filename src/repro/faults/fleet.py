@@ -1,0 +1,455 @@
+"""Fleet-level fault kinds: replica crash, gray failure, restart.
+
+:mod:`repro.faults.spec` injects *hardware* faults inside one
+replica; this module describes faults of the **fleet** — whole
+replicas crashing, running slow (gray failure), or bouncing through
+a restart with a cold cache.  The same design rules apply: frozen
+dataclasses, eager one-line :class:`ConfigurationError` validation,
+exact dict round-trips, JSON/YAML loading, and named presets.
+
+Semantics (enforced by :class:`repro.serving.fleet.FleetSimulator`):
+
+* ``replica-crash`` — the replica is down on ``[start, start +
+  duration)``.  Requests in flight at the crash instant are killed
+  and re-dispatched (subject to the retry budget); requests routed
+  to a down replica fail immediately.
+* ``replica-slow`` — gray failure: service times on the replica are
+  multiplied by ``magnitude`` (> 1) while the window is active.  The
+  replica still answers, which is exactly why a liveness check
+  misses it; the dispatcher's health monitor counts inflated
+  attempts toward the circuit breaker instead.
+* ``replica-restart`` — down for ``duration`` seconds, then serving
+  again but ``magnitude`` times slower for ``warmup_s`` seconds
+  while caches refill.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FleetScenario",
+    "HealthPolicy",
+    "RedispatchPolicy",
+    "ReplicaFault",
+    "ReplicaFaultKind",
+    "builtin_fleet_scenarios",
+    "fleet_from_dict",
+    "fleet_to_dict",
+    "get_fleet_scenario",
+    "load_fleet_scenario",
+    "replica_fault_from_dict",
+]
+
+
+class ReplicaFaultKind(str, enum.Enum):
+    """The three ways a replica betrays its fleet."""
+
+    REPLICA_CRASH = "replica-crash"
+    REPLICA_SLOW = "replica-slow"
+    REPLICA_RESTART = "replica-restart"
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One fault window on one replica."""
+
+    kind: ReplicaFaultKind
+    replica: int
+    start: float = 0.0
+    duration: float = float("inf")
+    magnitude: float = 0.0
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.replica, int) or isinstance(
+                self.replica, bool) or self.replica < 0:
+            raise ConfigurationError(
+                f"replica must be an integer >= 0, "
+                f"got {self.replica!r}")
+        if self.start < 0.0:
+            raise ConfigurationError(
+                f"start must be >= 0, got {self.start}")
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}")
+        if self.kind is ReplicaFaultKind.REPLICA_SLOW:
+            if self.magnitude <= 1.0:
+                raise ConfigurationError(
+                    "replica-slow magnitude is a slowdown factor and "
+                    f"must be > 1, got {self.magnitude}")
+        elif self.kind is ReplicaFaultKind.REPLICA_RESTART:
+            if self.magnitude < 1.0:
+                raise ConfigurationError(
+                    "replica-restart magnitude is the warm-up "
+                    f"slowdown and must be >= 1, got {self.magnitude}")
+        elif self.magnitude != 0.0:
+            raise ConfigurationError(
+                "replica-crash takes no magnitude, "
+                f"got {self.magnitude}")
+        if self.warmup_s < 0.0:
+            raise ConfigurationError(
+                f"warmup_s must be >= 0, got {self.warmup_s}")
+        if (self.warmup_s > 0.0
+                and self.kind is not ReplicaFaultKind.REPLICA_RESTART):
+            raise ConfigurationError(
+                f"warmup_s only applies to replica-restart, "
+                f"got {self.warmup_s} on {self.kind.value}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def down_at(self, time: float) -> bool:
+        """Is the replica unable to serve at ``time``?"""
+        if self.kind is ReplicaFaultKind.REPLICA_SLOW:
+            return False
+        return self.start <= time < self.end
+
+    def slow_factor_at(self, time: float) -> float:
+        """Service-time multiplier at ``time`` (1.0 when healthy)."""
+        if self.kind is ReplicaFaultKind.REPLICA_SLOW:
+            return self.magnitude if self.start <= time < self.end \
+                else 1.0
+        if self.kind is ReplicaFaultKind.REPLICA_RESTART:
+            if self.end <= time < self.end + self.warmup_s:
+                return self.magnitude
+        return 1.0
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Circuit breaker: when the dispatcher stops trusting a replica.
+
+    ``failure_threshold`` consecutive failed attempts open the
+    breaker; it stays open for ``cooldown_s``, then HALF_OPEN lets
+    ``half_open_probes`` live requests through — all must succeed to
+    close it again.  An attempt whose service time inflates by at
+    least ``slow_tolerance`` (gray failure) counts as a failure even
+    though the request completes.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 120.0
+    half_open_probes: int = 1
+    slow_tolerance: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold}")
+        if self.cooldown_s <= 0.0:
+            raise ConfigurationError(
+                f"cooldown_s must be positive, got {self.cooldown_s}")
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, "
+                f"got {self.half_open_probes}")
+        if self.slow_tolerance <= 1.0:
+            raise ConfigurationError(
+                f"slow_tolerance must be > 1, "
+                f"got {self.slow_tolerance}")
+
+
+@dataclass(frozen=True)
+class RedispatchPolicy:
+    """What happens to a request whose replica failed it.
+
+    ``max_retries`` further attempts on other replicas before the
+    request is dropped (0 = fail hard, the ablation CI uses to prove
+    failover is load-bearing).  ``hedge_after_s > 0`` additionally
+    issues a duplicate attempt on the next healthy replica whenever
+    the predicted queue wait exceeds the bound; the earlier finish
+    wins and both replicas' time is spent — the classic
+    tail-at-scale trade.
+    """
+
+    max_retries: int = 2
+    hedge_after_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.hedge_after_s < 0.0:
+            raise ConfigurationError(
+                f"hedge_after_s must be >= 0, "
+                f"got {self.hedge_after_s}")
+
+    @property
+    def hedging(self) -> bool:
+        return self.hedge_after_s > 0.0
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A chaos schedule plus the fleet's reaction policies."""
+
+    name: str = "fleet"
+    seed: int = 0
+    faults: Tuple[ReplicaFault, ...] = ()
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+    redispatch: RedispatchPolicy = field(
+        default_factory=RedispatchPolicy)
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0, got {self.seed}")
+
+    @property
+    def idle(self) -> bool:
+        """No faults and no hedging: the control plane never acts,
+        so the run must be bit-identical to a static fleet."""
+        return not self.faults and not self.redispatch.hedging
+
+    def faults_for(self, replica: int) -> Tuple[ReplicaFault, ...]:
+        """This replica's windows, in start order."""
+        return tuple(sorted(
+            (fault for fault in self.faults
+             if fault.replica == replica),
+            key=lambda fault: (fault.start, fault.kind.value)))
+
+
+# ----------------------------------------------------------------------
+# Dict / file loading (mirrors repro.faults.spec)
+# ----------------------------------------------------------------------
+_FAULT_KEYS = {"kind", "replica", "start", "duration", "magnitude",
+               "warmup_s"}
+_HEALTH_KEYS = {"failure_threshold", "cooldown_s", "half_open_probes",
+                "slow_tolerance"}
+_REDISPATCH_KEYS = {"max_retries", "hedge_after_s"}
+_SCENARIO_KEYS = {"name", "seed", "faults", "health", "redispatch"}
+
+
+def _require_mapping(value: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"{where} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(data: Mapping[str, Any], allowed: set,
+                where: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"{where} has unknown keys {unknown}; "
+            f"allowed: {sorted(allowed)}")
+
+
+def _number(data: Mapping[str, Any], key: str, default: float,
+            where: str) -> float:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{where}.{key} must be a number, "
+            f"got {type(value).__name__}")
+    return float(value)
+
+
+def _integer(data: Mapping[str, Any], key: str, default: int,
+             where: str) -> int:
+    value = data.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{where}.{key} must be an integer, "
+            f"got {type(value).__name__}")
+    return value
+
+
+def replica_fault_from_dict(data: Any) -> ReplicaFault:
+    """Build a validated :class:`ReplicaFault` from a plain dict."""
+    data = _require_mapping(data, "replica fault")
+    _check_keys(data, _FAULT_KEYS, "replica fault")
+    kind_name = data.get("kind")
+    try:
+        kind = ReplicaFaultKind(kind_name)
+    except ValueError:
+        known = ", ".join(kind.value for kind in ReplicaFaultKind)
+        raise ConfigurationError(
+            f"unknown replica fault kind {kind_name!r}; "
+            f"known kinds: {known}") from None
+    where = f"replica fault {kind.value}"
+    return ReplicaFault(
+        kind=kind,
+        replica=_integer(data, "replica", 0, where),
+        start=_number(data, "start", 0.0, where),
+        duration=_number(data, "duration", float("inf"), where),
+        magnitude=_number(data, "magnitude", 0.0, where),
+        warmup_s=_number(data, "warmup_s", 0.0, where))
+
+
+def fleet_from_dict(data: Any) -> FleetScenario:
+    """Build a validated :class:`FleetScenario` from a plain dict."""
+    data = _require_mapping(data, "fleet scenario")
+    _check_keys(data, _SCENARIO_KEYS, "fleet scenario")
+    name = data.get("name", "fleet")
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"fleet scenario.name must be a string, "
+            f"got {type(name).__name__}")
+    faults_data = data.get("faults", [])
+    if not isinstance(faults_data, (list, tuple)):
+        raise ConfigurationError(
+            "fleet scenario.faults must be a list, "
+            f"got {type(faults_data).__name__}")
+    health_data = _require_mapping(data.get("health", {}),
+                                   "fleet scenario.health")
+    _check_keys(health_data, _HEALTH_KEYS, "fleet scenario.health")
+    redispatch_data = _require_mapping(data.get("redispatch", {}),
+                                       "fleet scenario.redispatch")
+    _check_keys(redispatch_data, _REDISPATCH_KEYS,
+                "fleet scenario.redispatch")
+    health = HealthPolicy(
+        failure_threshold=_integer(health_data, "failure_threshold",
+                                   3, "health"),
+        cooldown_s=_number(health_data, "cooldown_s", 120.0, "health"),
+        half_open_probes=_integer(health_data, "half_open_probes", 1,
+                                  "health"),
+        slow_tolerance=_number(health_data, "slow_tolerance", 3.0,
+                               "health"))
+    redispatch = RedispatchPolicy(
+        max_retries=_integer(redispatch_data, "max_retries", 2,
+                             "redispatch"),
+        hedge_after_s=_number(redispatch_data, "hedge_after_s", 0.0,
+                              "redispatch"))
+    return FleetScenario(
+        name=name, seed=_integer(data, "seed", 0, "fleet scenario"),
+        faults=tuple(replica_fault_from_dict(entry)
+                     for entry in faults_data),
+        health=health, redispatch=redispatch)
+
+
+def fleet_to_dict(scenario: FleetScenario) -> Dict[str, Any]:
+    """The inverse of :func:`fleet_from_dict` (exact round-trip)."""
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "faults": [
+            {"kind": fault.kind.value, "replica": fault.replica,
+             "start": fault.start, "duration": fault.duration,
+             "magnitude": fault.magnitude, "warmup_s": fault.warmup_s}
+            for fault in scenario.faults],
+        "health": {
+            "failure_threshold": scenario.health.failure_threshold,
+            "cooldown_s": scenario.health.cooldown_s,
+            "half_open_probes": scenario.health.half_open_probes,
+            "slow_tolerance": scenario.health.slow_tolerance,
+        },
+        "redispatch": {
+            "max_retries": scenario.redispatch.max_retries,
+            "hedge_after_s": scenario.redispatch.hedge_after_s,
+        },
+    }
+
+
+def load_fleet_scenario(path: str) -> FleetScenario:
+    """Load a fleet scenario from a JSON (always) or YAML file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read fleet scenario {path!r}: {error}") from error
+    data: Optional[Any] = None
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError as error:
+            raise ConfigurationError(
+                f"cannot load YAML fleet scenario {path!r}: "
+                "PyYAML is not installed") from error
+        data = yaml.safe_load(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"fleet scenario {path!r} is not valid JSON: "
+                f"{error}") from error
+    return fleet_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+def _replica_crash() -> FleetScenario:
+    """One replica dies mid-run and comes back; retries mop up."""
+    return FleetScenario(
+        name="replica-crash", seed=1,
+        faults=(ReplicaFault(ReplicaFaultKind.REPLICA_CRASH,
+                             replica=1, start=900.0, duration=600.0),),
+        redispatch=RedispatchPolicy(max_retries=2))
+
+
+def _gray_failure() -> FleetScenario:
+    """A replica answers 4x slow; only the breaker notices."""
+    return FleetScenario(
+        name="gray-failure", seed=2,
+        faults=(ReplicaFault(ReplicaFaultKind.REPLICA_SLOW,
+                             replica=0, start=600.0, duration=1800.0,
+                             magnitude=4.0),),
+        health=HealthPolicy(failure_threshold=3, cooldown_s=300.0,
+                            slow_tolerance=3.0),
+        redispatch=RedispatchPolicy(max_retries=1))
+
+
+def _rolling_restart() -> FleetScenario:
+    """Staggered restarts across the fleet, each with a cold cache."""
+    return FleetScenario(
+        name="rolling-restart", seed=3,
+        faults=tuple(
+            ReplicaFault(ReplicaFaultKind.REPLICA_RESTART,
+                         replica=replica,
+                         start=600.0 + 400.0 * replica,
+                         duration=120.0, magnitude=2.0,
+                         warmup_s=240.0)
+            for replica in range(4)),
+        redispatch=RedispatchPolicy(max_retries=2))
+
+
+def _bursty_chaos() -> FleetScenario:
+    """A crash and a gray failure overlapping the traffic burst."""
+    return FleetScenario(
+        name="bursty-chaos", seed=4,
+        faults=(
+            ReplicaFault(ReplicaFaultKind.REPLICA_CRASH,
+                         replica=2, start=700.0, duration=500.0),
+            ReplicaFault(ReplicaFaultKind.REPLICA_SLOW,
+                         replica=0, start=1000.0, duration=900.0,
+                         magnitude=5.0),
+        ),
+        health=HealthPolicy(failure_threshold=3, cooldown_s=300.0),
+        redispatch=RedispatchPolicy(max_retries=2))
+
+
+_PRESETS = {
+    "replica-crash": _replica_crash,
+    "gray-failure": _gray_failure,
+    "rolling-restart": _rolling_restart,
+    "bursty-chaos": _bursty_chaos,
+}
+
+
+def builtin_fleet_scenarios() -> Dict[str, FleetScenario]:
+    """Every built-in fleet scenario, by name (sorted)."""
+    return {name: _PRESETS[name]() for name in sorted(_PRESETS)}
+
+
+def get_fleet_scenario(name: str) -> FleetScenario:
+    """Look up one preset; unknown names raise a one-line error."""
+    try:
+        build = _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ConfigurationError(
+            f"unknown fleet scenario {name!r}; "
+            f"known scenarios: {known}") from None
+    return build()

@@ -21,12 +21,19 @@ needs the two wrappers this package provides:
 * :mod:`repro.serving.replicas` — k-replica scale-out (round-robin /
   least-loaded dispatch, optionally under a fault scenario) and
   SLO-driven fleet sizing.
+* :mod:`repro.serving.fleet` — the control plane under test: replica
+  chaos, circuit-breaker failover with re-dispatch/hedging, and a
+  reactive autoscaler driven by the workload-trace layer.
 """
 
 from repro.serving.batcher import Batch, pack_requests
 from repro.serving.degradation import (DegradedServingReport,
                                        DroppedRequest, FaultStats,
                                        run_degraded)
+from repro.serving.fleet import (AutoscalerPolicy, ChaosStats,
+                                 FleetPreset, FleetReport,
+                                 FleetSimulator, builtin_fleet_presets,
+                                 get_fleet_preset)
 from repro.serving.piecewise import (VectorizedDegradedReport,
                                      run_degraded_vectorized)
 from repro.serving.planner import (PlanChoice, ReplicaPlan,
@@ -42,6 +49,13 @@ from repro.serving.vectorized import (VectorizedServingReport,
                                       run_vectorized)
 
 __all__ = [
+    "AutoscalerPolicy",
+    "ChaosStats",
+    "FleetPreset",
+    "FleetReport",
+    "FleetSimulator",
+    "builtin_fleet_presets",
+    "get_fleet_preset",
     "DegradedScaleOutReport",
     "DegradedServingReport",
     "DroppedRequest",

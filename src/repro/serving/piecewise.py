@@ -34,12 +34,20 @@ request index)`` exactly like the loop, and the two float
 accumulators (``stall_seconds``, ``backoff_seconds``) fold per event
 in request order.
 
-Admission control is inherently sequential — each decision probes the
-finishes of every previously admitted request — so scenarios with an
-admission bound take an exact sequential kernel over the same
-precomputed segment tables (honest fallback; the binary-search depth
-probe keeps it O(n log n)).  The ≥20× benchmark floor applies to the
-admissionless piecewise path.
+Admission control probes the finishes of every previously admitted
+request, but the *first* probe of each decision is pure: a request
+whose queue-depth probe clears the bound at its raw arrival is
+admitted at that arrival with no controller state touched.  Served
+finishes are nondecreasing, so a speculative block batch-probes all
+of its depths with two ``searchsorted`` passes (committed finishes
+plus the block's own speculative finishes) and commits up to the
+first request whose probe would defer or shed; only that request
+re-enters the exact sequential
+:meth:`~repro.serving.degradation.DegradationController.admit`
+(deferral loop, backoff float folds, spans), and batching resumes
+behind it.  The plain sequential kernel is retained as the
+bit-identity reference the regression tests compare against.  The
+≥20× benchmark floor applies to the admissionless piecewise path.
 """
 
 from __future__ import annotations
@@ -66,6 +74,13 @@ from repro.serving.vectorized import (DEFAULT_SPAN_CAP,
 #: so the cap only bounds wasted work when backlog pushes starts past
 #: a segment boundary early in a block.
 _BLOCK_CAP = 1 << 16
+
+#: Starting speculative block size for the admission engine.  The cap
+#: doubles after every block free of admission violations and shrinks
+#: back toward the observed commit length when a probe would defer,
+#: so wasted speculation stays proportional to committed work even
+#: when the queue saturates and probes defer densely.
+_ADMISSION_BLOCK_SEED = 32
 
 _UNSERVABLE_REASON = "does not fit the degraded platform at B=1"
 _SHED_REASON = "shed by admission control"
@@ -401,7 +416,7 @@ def run_degraded_vectorized(simulator: ServingSimulator,
 
     if scenario.admission.enabled:
         served_index, starts, finishes, dropped_index, reasons = (
-            _run_admission_sequential(controller, workload, trace, idx))
+            _run_admission_piecewise(controller, workload, trace, idx))
     else:
         served_index, starts, finishes, dropped_index, reasons = (
             _run_piecewise(controller, workload, trace, idx))
@@ -643,13 +658,15 @@ def _run_admission_sequential(controller: DegradationController,
                               ) -> Tuple[np.ndarray, np.ndarray,
                                          np.ndarray, np.ndarray,
                                          List[str]]:
-    """Mode B: admission-bounded scenarios, sequential exact kernel.
+    """Mode B reference: admission-bounded, sequential exact kernel.
 
-    Each admission decision probes every previously admitted finish,
-    so the recurrence cannot be segmented; this kernel walks requests
-    in order with the same controller the loop uses (identical stats,
-    counters, and span emission) over precomputed segment tables, and
-    keeps the binary-search depth probe.
+    Walks requests in order with the same controller the loop uses
+    (identical stats, counters, and span emission) over precomputed
+    segment tables, keeping the binary-search depth probe.  The
+    production path is :func:`_run_admission_piecewise`, which batches
+    the attempt-zero probes; this kernel is retained as the
+    bit-identity reference the regression tests and the parity sweep
+    compare against.
     """
     stats = controller.stats
     shapes = workload.shapes
@@ -716,3 +733,332 @@ def _run_admission_sequential(controller: DegradationController,
             np.array(starts_list, dtype=np.float64),
             np.array(finishes, dtype=np.float64),
             np.array(dropped_positions, dtype=np.int64), reasons)
+
+
+def _run_admission_piecewise(controller: DegradationController,
+                             workload: WorkloadVector,
+                             trace: np.ndarray,
+                             idx: Optional[np.ndarray]
+                             ) -> Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray, np.ndarray,
+                                        List[str]]:
+    """Mode B: admission-bounded scenarios, piecewise engine.
+
+    The attempt-zero admission probe is pure — a request whose
+    queue-depth probe clears ``max_queue_depth`` at its raw arrival
+    is admitted at that arrival and
+    :meth:`~repro.serving.degradation.DegradationController.admit`
+    touches no state.  Served finishes are nondecreasing, so a
+    speculative block batch-probes every member's depth with two
+    ``searchsorted`` passes: committed finishes against the block
+    arrivals, plus the block's own speculative finishes (clamped to
+    each member's served-before prefix, which holds the earliest
+    finishes).  The block commits up to the first request whose probe
+    would defer or shed; that request alone re-enters the exact
+    sequential ``admit`` (deferral loop, stats, spans, backoff float
+    folds), and batching resumes behind it.  Segment-boundary cuts,
+    plan tables, stall outcomes, and the commit-order stats replay
+    are the Mode A machinery, so timelines, :class:`FaultStats`,
+    drops, and telemetry rows stay bit-identical to the reference
+    loop and to :func:`_run_admission_sequential`.
+    """
+    stats = controller.stats
+    shapes = workload.shapes
+    codes = workload.codes
+    codes_list = codes.tolist()
+    arrivals_list = trace.tolist()
+    n = trace.size
+    max_depth = controller.scenario.admission.max_queue_depth
+    segments = controller.injector.regimes()
+    seg_los = [segment[0] for segment in segments]
+    tables: dict = {}
+
+    served_starts = np.empty(n)
+    served_finishes = np.empty(n)
+    served_positions = np.empty(n, dtype=np.int64)
+    n_served = 0
+    # The same finishes as a plain list: ``admit``'s binary search
+    # over a list of Python floats is ~3x cheaper than over an
+    # ndarray view (no per-comparison boxing), and the slow path is
+    # exactly where that search dominates.
+    finishes_list: List[float] = []
+    dropped_positions: List[int] = []
+    dropped_reasons: List[str] = []
+    probe_code = np.empty(1, dtype=np.int64)
+    pos = 0
+    free_at = 0.0
+    adm_cap = _ADMISSION_BLOCK_SEED
+    seq_run = _ADMISSION_BLOCK_SEED
+
+    def serve_slow(position: int) -> None:
+        """One request through the exact sequential kernel body —
+        used for the request at an admission violation (whose probe
+        defers or sheds and therefore mutates controller state) and
+        for saturated stretches where speculation cannot pay for
+        itself."""
+        nonlocal free_at, n_served
+        arrival = arrivals_list[position]
+        index = position if idx is None else int(idx[position])
+        effective = controller.admit(arrival, index, finishes_list)
+        if effective is None:
+            dropped_positions.append(position)
+            dropped_reasons.append(_SHED_REASON)
+            return
+        start = effective if effective >= free_at else free_at
+        lo, hi, signature, stall_p = segments[
+            bisect_right(seg_los, start) - 1]
+        table = tables.get(signature)
+        if table is None:
+            table = tables[signature] = _PlanTable(len(shapes))
+        code = codes_list[position]
+        if not table.filled[code]:
+            probe_code[0] = code
+            table.fill(controller, shapes, signature, probe_code, start)
+        if not table.ok[code]:
+            stats.unservable += 1
+            controller._count("faults.unservable")
+            dropped_positions.append(position)
+            dropped_reasons.append(_UNSERVABLE_REASON)
+            return
+        if signature:
+            plan = _ServicePlan(
+                latency=float(table.latency[code]),
+                n_chunks=int(table.n_chunks[code]),
+                shrinks=int(table.shrinks[code]), resolved=True,
+                policy_shifted=bool(table.shifted[code]))
+            controller._note_plan(plan, index, start)
+        penalty = 0.0
+        if stall_p > 0.0:
+            penalty, ops = _cached_stall_outcome(
+                controller, stall_p, index, int(table.n_chunks[code]))
+            if ops:
+                _apply_stall_ops(controller, index, start, ops)
+        if signature or penalty > 0.0:
+            stats.degraded_requests += 1
+        finish = start + float(table.latency[code]) + penalty
+        served_positions[n_served] = position
+        served_starts[n_served] = start
+        served_finishes[n_served] = finish
+        finishes_list.append(finish)
+        n_served += 1
+        free_at = finish
+
+    while pos < n:
+        arrival = trace[pos]
+        t0 = arrival if arrival >= free_at else free_at
+        lo, hi, signature, stall_p = segments[
+            bisect_right(seg_los, t0) - 1]
+        finite = math.isfinite(hi)
+        if finite:
+            block_end = int(np.searchsorted(trace, hi, side="left"))
+            block_end = min(block_end, pos + _BLOCK_CAP)
+        else:
+            block_end = n
+        block_end = min(block_end, pos + adm_cap)
+        block_end = max(block_end, pos + 1)
+        block_codes = codes[pos:block_end]
+        block_arrivals = trace[pos:block_end]
+
+        table = tables.get(signature)
+        if table is None:
+            table = tables[signature] = _PlanTable(len(shapes))
+        table.fill(controller, shapes, signature, block_codes, t0)
+
+        ok = table.ok[block_codes]
+        if finite and block_codes.size > 1:
+            # Same capacity bound as Mode A: at most
+            # ``1 + (hi - t0) / min_latency`` kept starts fit the
+            # segment, so trim the speculation to that many rows.
+            kept_probe = np.flatnonzero(ok)
+            if kept_probe.size > 1:
+                cheapest = float(
+                    table.latency[block_codes[kept_probe]].min())
+                if cheapest > 0.0:
+                    capacity = 1 + int((hi - t0) / cheapest)
+                    if kept_probe.size > capacity:
+                        block_end = pos + int(kept_probe[capacity])
+                        block_codes = codes[pos:block_end]
+                        block_arrivals = trace[pos:block_end]
+                        ok = ok[:block_end - pos]
+        block_len = block_end - pos
+        if ok.all():
+            kept = None
+            kept_arrivals = block_arrivals
+            kept_latency = table.latency[block_codes]
+            drop = np.empty(0, dtype=np.int64)
+        else:
+            kept = np.flatnonzero(ok)
+            drop = np.flatnonzero(~ok)
+            kept_arrivals = block_arrivals[kept]
+            kept_latency = table.latency[block_codes[kept]]
+
+        outcomes = None
+        penalties = None
+        if stall_p > 0.0 and kept_arrivals.size:
+            kept_chunks = (table.n_chunks[block_codes] if kept is None
+                           else table.n_chunks[block_codes[kept]])
+            offsets = (np.arange(kept_arrivals.size, dtype=np.int64)
+                       if kept is None else kept)
+            request_ids = pos + offsets
+            if idx is not None:
+                request_ids = idx[request_ids]
+            outcomes = [
+                _cached_stall_outcome(controller, stall_p, int(rid),
+                                      int(nch))
+                for rid, nch in zip(request_ids.tolist(),
+                                    kept_chunks.tolist())]
+            penalties = np.fromiter((o[0] for o in outcomes),
+                                    dtype=np.float64,
+                                    count=len(outcomes))
+
+        if kept_arrivals.size:
+            kept_starts, kept_finishes = lindley_timeline(
+                kept_arrivals, kept_latency, penalties=penalties,
+                free_at=free_at)
+        else:
+            kept_starts = kept_finishes = np.empty(0)
+
+        # Batched attempt-zero depth probes.  For block member i the
+        # probe counts admitted-but-unfinished requests at arrival_i:
+        # committed finishes (one global searchsorted) plus the
+        # block's own speculative kept finishes before i.  The local
+        # count is clamped to the served-before prefix, which holds
+        # the earliest finishes, so the clamp is exact even when a
+        # later finish ties the arrival.
+        if kept is None:
+            served_before = np.arange(block_len, dtype=np.int64)
+        else:
+            ok_counts = ok.astype(np.int64)
+            served_before = np.cumsum(ok_counts) - ok_counts
+        local = np.minimum(
+            np.searchsorted(kept_finishes, block_arrivals,
+                            side="right"),
+            served_before)
+        committed_leq = np.searchsorted(served_finishes[:n_served],
+                                        block_arrivals, side="right")
+        depth = (n_served + served_before) - (committed_leq + local)
+        violations = np.flatnonzero(depth >= max_depth)
+        adm_edge = int(violations[0]) if violations.size else block_len
+
+        # First-violation cut: Mode A's segment cut, then the
+        # admission edge on top.
+        if not finite:
+            seg_cut = block_len
+        else:
+            kept_violation = int(np.searchsorted(kept_starts, hi,
+                                                 side="left"))
+            if kept is None:
+                seg_cut = min(kept_violation, block_len)
+            else:
+                kept_edge = (int(kept[kept_violation])
+                             if kept_violation < kept.size
+                             else block_len)
+                previous = np.searchsorted(kept, drop) - 1
+                if kept_finishes.size:
+                    backlog = np.where(previous >= 0,
+                                       kept_finishes[previous], free_at)
+                else:
+                    backlog = free_at
+                probe = np.maximum(block_arrivals[drop], backlog)
+                drop_violation = int(np.searchsorted(probe, hi,
+                                                     side="left"))
+                drop_edge = (int(drop[drop_violation])
+                             if drop_violation < drop.size
+                             else block_len)
+                seg_cut = min(kept_edge, drop_edge, block_len)
+        cut = min(seg_cut, adm_edge)
+        if kept is None:
+            kept_cut = cut
+            drop_cut = 0
+        else:
+            kept_cut = int(np.searchsorted(kept, cut, side="left"))
+            drop_cut = int(np.searchsorted(drop, cut, side="left"))
+
+        # Commit the prefix (Mode A's commit-order stats replay).
+        if kept_cut:
+            committed = (np.arange(kept_cut, dtype=np.int64)
+                         if kept is None else kept[:kept_cut])
+            served_starts[n_served:n_served + kept_cut] = (
+                kept_starts[:kept_cut])
+            served_finishes[n_served:n_served + kept_cut] = (
+                kept_finishes[:kept_cut])
+            served_positions[n_served:n_served + kept_cut] = (
+                pos + committed)
+            n_served += kept_cut
+            finishes_list.extend(kept_finishes[:kept_cut].tolist())
+            free_at = float(kept_finishes[kept_cut - 1])
+            committed_codes = block_codes[committed]
+            if signature:
+                stats.policy_resolves += kept_cut
+                controller._count("faults.policy_resolves", kept_cut)
+                shifted = int(np.count_nonzero(
+                    table.shifted[committed_codes]))
+                if shifted:
+                    stats.policy_shifts += shifted
+                    controller._count("faults.policy_shifts", shifted)
+                total_shrinks = int(table.shrinks[committed_codes].sum())
+                if total_shrinks:
+                    stats.batch_shrinks += total_shrinks
+                    controller._count("faults.batch_shrinks",
+                                      total_shrinks)
+                stats.degraded_requests += kept_cut
+            elif outcomes is not None:
+                stats.degraded_requests += sum(
+                    1 for outcome in outcomes[:kept_cut]
+                    if outcome[0] > 0.0)
+            need_spans = (controller.telemetry is not None and signature
+                          and bool(table.shrinks[committed_codes].any()))
+            if outcomes is not None or need_spans:
+                shrink_counts = (table.shrinks[committed_codes].tolist()
+                                 if need_spans else None)
+                start_list = kept_starts[:kept_cut].tolist()
+                global_ids = pos + committed
+                if idx is not None:
+                    global_ids = idx[global_ids]
+                for j, request_id in enumerate(global_ids.tolist()):
+                    if shrink_counts is not None and shrink_counts[j]:
+                        controller._span(f"shrink:req{request_id}",
+                                         start_list[j], start_list[j],
+                                         halvings=shrink_counts[j])
+                    if outcomes is not None and outcomes[j][1]:
+                        _apply_stall_ops(controller, request_id,
+                                         start_list[j], outcomes[j][1])
+        if drop_cut:
+            dropped_positions.extend(
+                (pos + drop[:drop_cut]).tolist())
+            dropped_reasons.extend([_UNSERVABLE_REASON] * drop_cut)
+            stats.unservable += drop_cut
+            controller._count("faults.unservable", drop_cut)
+        pos += cut
+
+        if adm_edge <= seg_cut and adm_edge < block_len:
+            # The cut landed on an admission violation: that request's
+            # probe defers or sheds, so it takes the exact sequential
+            # path before batching resumes behind it.
+            serve_slow(pos)
+            pos += 1
+            if cut < _ADMISSION_BLOCK_SEED:
+                # Speculation did not pay for itself — the queue is
+                # saturated and probes defer densely.  Drain a stretch
+                # sequentially, doubling the stretch while saturation
+                # persists, so the engine degrades to the sequential
+                # kernel plus a vanishing probing overhead instead of
+                # re-speculating per committed request.
+                stop = min(n, pos + seq_run)
+                while pos < stop:
+                    serve_slow(pos)
+                    pos += 1
+                seq_run = min(2 * seq_run, _BLOCK_CAP)
+                adm_cap = _ADMISSION_BLOCK_SEED
+            else:
+                seq_run = _ADMISSION_BLOCK_SEED
+                adm_cap = max(_ADMISSION_BLOCK_SEED, 2 * cut)
+        else:
+            seq_run = _ADMISSION_BLOCK_SEED
+            adm_cap = min(2 * adm_cap, _BLOCK_CAP)
+
+    return (served_positions[:n_served].copy(),
+            served_starts[:n_served].copy(),
+            served_finishes[:n_served].copy(),
+            np.array(dropped_positions, dtype=np.int64),
+            dropped_reasons)

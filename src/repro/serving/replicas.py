@@ -468,17 +468,26 @@ def replicas_needed(estimator: LiaEstimator,
     monotone in ``k`` for FIFO dispatch).  Raises
     :class:`CapacityError` when even ``max_replicas`` misses the SLO
     — the service time alone exceeds it, so no fleet can help.
+
+    Each fleet size is simulated at most once: the doubling phase can
+    land exactly on the answer the binary search would re-derive
+    (``max_replicas`` clamps, and power-of-two answers generally), so
+    evaluations are memoized per ``k`` for the duration of the call.
     """
     if slo_p95_seconds <= 0.0:
         raise ConfigurationError("slo_p95_seconds must be positive")
     workload = (requests if isinstance(requests, WorkloadVector)
                 else WorkloadVector.from_requests(requests))
     trace = validate_arrivals(arrivals)
+    seen: dict = {}
 
     def evaluate(k: int) -> Tuple[float, ScaleOutReport]:
-        report = MultiReplicaSimulator(
-            estimator, k, dispatch=dispatch).run(workload, trace)
-        return report.latency_percentile(0.95), report
+        cached = seen.get(k)
+        if cached is None:
+            report = MultiReplicaSimulator(
+                estimator, k, dispatch=dispatch).run(workload, trace)
+            cached = seen[k] = (report.latency_percentile(0.95), report)
+        return cached
 
     low = 1
     p95, report = evaluate(low)

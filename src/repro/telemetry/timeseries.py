@@ -301,6 +301,11 @@ class ServingTimeseries:
     busy_s: np.ndarray
     weighted: Dict[str, np.ndarray] = field(default_factory=dict)
     dropped: Optional[np.ndarray] = None
+    #: Fleet control-plane channels (optional): active replicas at
+    #: each window start and per-window availability — attached by
+    #: :meth:`repro.serving.fleet.FleetReport.timeseries`.
+    replicas: Optional[np.ndarray] = None
+    availability: Optional[np.ndarray] = None
     n_servers: int = 1
     percentile_stride: int = 1
     #: One :class:`_LatencySource` per merged timeline — the exact
@@ -415,6 +420,16 @@ class ServingTimeseries:
             for part in (self.dropped, other.dropped):
                 if part is not None:
                     dropped = dropped + part
+        if self.replicas is None and other.replicas is None:
+            replicas = None
+        else:
+            replicas = np.zeros(self.n_windows, dtype=np.int64)
+            for part in (self.replicas, other.replicas):
+                if part is not None:
+                    replicas = replicas + part
+        availability = _merge_availability(
+            self.availability, self.arrived,
+            other.availability, other.arrived)
         counts, offset = _merge_bucket_counts(
             self._bucket_counts, self._bucket_offset,
             other._bucket_counts, other._bucket_offset)
@@ -427,6 +442,8 @@ class ServingTimeseries:
             busy_s=self.busy_s + other.busy_s,
             weighted=weighted,
             dropped=dropped,
+            replicas=replicas,
+            availability=availability,
             n_servers=self.n_servers + other.n_servers,
             percentile_stride=max(self.percentile_stride,
                                   other.percentile_stride),
@@ -458,12 +475,34 @@ class ServingTimeseries:
             document[name] = values.tolist()
         if self.dropped is not None:
             document["dropped"] = self.dropped.tolist()
+        if self.replicas is not None:
+            document["replicas"] = self.replicas.tolist()
+        if self.availability is not None:
+            document["availability"] = self.availability.tolist()
         for fraction in percentiles:
             values = self.percentile(fraction)
             document[f"p{round(fraction * 100)}_s"] = [
                 None if math.isnan(value) else value
                 for value in values.tolist()]
         return document
+
+
+def _merge_availability(left: Optional[np.ndarray],
+                        left_arrived: np.ndarray,
+                        right: Optional[np.ndarray],
+                        right_arrived: np.ndarray
+                        ) -> Optional[np.ndarray]:
+    """Arrival-weighted per-window availability of two sub-fleets;
+    a side without the channel is treated as fully available."""
+    if left is None and right is None:
+        return None
+    ones_left = np.ones(left_arrived.size, dtype=np.float64)
+    l = left if left is not None else ones_left
+    r = right if right is not None else ones_left
+    total = left_arrived + right_arrived
+    weighted = l * left_arrived + r * right_arrived
+    return np.where(total > 0, weighted / np.maximum(total, 1),
+                    1.0).astype(np.float64)
 
 
 def _merge_bucket_counts(left: Optional[np.ndarray], left_offset: int,

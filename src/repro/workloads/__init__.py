@@ -1,0 +1,32 @@
+"""Workload traces: time-varying, heavy-tailed, and session arrivals.
+
+The trace layer under the fleet simulator — see
+:mod:`repro.workloads.traces` for the generators and
+:mod:`repro.workloads.spec` for the JSON/YAML spec surface and the
+built-in presets (``steady``, ``diurnal``, ``bursty``,
+``heavy-tail``, ``sessions``).
+"""
+
+from repro.workloads.spec import (TRACE_KINDS, TraceSpec,
+                                  builtin_traces, get_trace,
+                                  load_trace, trace_from_dict,
+                                  trace_to_dict)
+from repro.workloads.traces import (SessionTrace, arrivals_diurnal,
+                                    arrivals_heavy_tail, arrivals_mmpp,
+                                    arrivals_sessions, session_trace)
+
+__all__ = [
+    "TRACE_KINDS",
+    "SessionTrace",
+    "TraceSpec",
+    "arrivals_diurnal",
+    "arrivals_heavy_tail",
+    "arrivals_mmpp",
+    "arrivals_sessions",
+    "builtin_traces",
+    "get_trace",
+    "load_trace",
+    "session_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+]

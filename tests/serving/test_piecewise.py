@@ -377,7 +377,8 @@ def test_shed_requests_never_inflate_later_probes(simulator):
         for attempt in range(3):
             expected += 0.01 * 2.0 ** attempt
     assert loop.stats.backoff_seconds == expected
-    # And the sequential vectorized kernel reproduces it bit for bit.
+    # And the admission-bounded piecewise engine reproduces it bit
+    # for bit.
     vec = run_degraded_vectorized(
         _fresh(simulator), WorkloadVector.from_requests(requests),
         arrivals, scenario)
@@ -396,6 +397,118 @@ def test_depth_probe_bisect_matches_linear_scan(seed):
         fast = len(finishes) - bisect_right(finishes, effective)
         slow = sum(1 for f in finishes if f > effective)
         assert fast == slow
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched admission probes vs the sequential reference
+# ----------------------------------------------------------------------
+def _run_admission_kernel(simulator, kernel, workload, arrivals,
+                          scenario, idx=None, telemetry=None):
+    from repro.serving.piecewise import _warm_base_plans
+    from repro.serving.simulator import validate_arrivals
+
+    controller = DegradationController(_fresh(simulator), scenario,
+                                       telemetry)
+    _warm_base_plans(controller, workload)
+    trace = validate_arrivals(arrivals)
+    out = kernel(controller, workload, trace,
+                 None if idx is None
+                 else np.asarray(idx, dtype=np.int64))
+    return out, controller.stats.as_dict()
+
+
+def _assert_kernels_identical(simulator, workload, arrivals, scenario,
+                              idx=None, with_telemetry=False):
+    from repro.serving.piecewise import (_run_admission_piecewise,
+                                         _run_admission_sequential)
+
+    outputs = []
+    for kernel in (_run_admission_sequential, _run_admission_piecewise):
+        telemetry = Telemetry() if with_telemetry else None
+        out, stats = _run_admission_kernel(simulator, kernel, workload,
+                                           arrivals, scenario,
+                                           idx=idx,
+                                           telemetry=telemetry)
+        outputs.append((out, stats, telemetry))
+    (a, stats_a, tel_a), (b, stats_b, tel_b) = outputs
+    assert np.array_equal(a[0], b[0])          # served positions
+    assert a[1].tolist() == b[1].tolist()      # starts, bit for bit
+    assert a[2].tolist() == b[2].tolist()      # finishes, bit for bit
+    assert np.array_equal(a[3], b[3])          # dropped positions
+    assert a[4] == b[4]                        # drop reasons
+    assert stats_a == stats_b
+    if with_telemetry:
+        assert _telemetry_rows(tel_a) == _telemetry_rows(tel_b)
+        assert _span_set(tel_a) == _span_set(tel_b)
+    return stats_a
+
+
+def test_admission_piecewise_matches_sequential_open_queue(simulator):
+    """An under-capacity trace against a deep bound stays on the
+    batched attempt-zero path almost everywhere; every surface
+    matches the sequential reference."""
+    scenario = FaultScenario(
+        name="adm-open", seed=4,
+        admission=AdmissionPolicy(max_queue_depth=64, max_deferrals=3))
+    light = [InferenceRequest(1, 128, 16), InferenceRequest(1, 256, 32)]
+    workload = WorkloadVector.sample_mix(light, 400, seed=7)
+    arrivals = arrivals_poisson(400, 0.2, seed=7)
+    stats = _assert_kernels_identical(simulator, workload, arrivals,
+                                      scenario)
+    assert stats["dropped"] == 0  # the bound never bites
+
+
+def test_admission_piecewise_matches_sequential_saturated(simulator):
+    """A saturated queue forces the sequential drain fallback (dense
+    deferrals and sheds); stats, backoff float folds, and drop order
+    still match bit for bit."""
+    scenario = FaultScenario(
+        name="adm-sat", seed=4,
+        admission=AdmissionPolicy(max_queue_depth=1, max_deferrals=2),
+        retry=RetryPolicy(max_retries=3, timeout_s=0.05,
+                          backoff_base_s=0.02, backoff_factor=2.0))
+    workload = _workload(400, seed=8)
+    arrivals = arrivals_poisson(400, 4.0, seed=8)
+    stats = _assert_kernels_identical(simulator, workload, arrivals,
+                                      scenario)
+    assert stats["dropped"] > 100  # genuinely saturated
+    assert stats["deferred"] > 100
+
+
+def test_admission_piecewise_matches_sequential_with_faults(simulator):
+    """Admission + segment boundaries + stall draws together: the
+    probe batching composes with the Mode A segment machinery,
+    telemetry rows and spans included."""
+    scenario = FaultScenario(
+        name="adm-mixed", seed=6,
+        events=(
+            FaultEvent(kind=FaultKind.PCIE_STALL, magnitude=0.05),
+            FaultEvent(kind=FaultKind.GPU_HBM_PRESSURE, start=20.0,
+                       duration=120.0, magnitude=0.35),
+        ),
+        retry=RetryPolicy(max_retries=3, timeout_s=0.05,
+                          backoff_base_s=0.02, backoff_factor=2.0),
+        admission=AdmissionPolicy(max_queue_depth=8, max_deferrals=3))
+    workload = _workload(300, seed=9)
+    arrivals = arrivals_poisson(300, 2.5, seed=9)
+    _assert_kernels_identical(simulator, workload, arrivals, scenario,
+                              with_telemetry=True)
+
+
+def test_admission_piecewise_honors_global_indices(simulator):
+    """Replica-sharded calls pass global request indices; RNG draws
+    and span names must key on them identically in both kernels."""
+    scenario = FaultScenario(
+        name="adm-idx", seed=5,
+        events=(FaultEvent(kind=FaultKind.PCIE_STALL, magnitude=0.05),),
+        retry=RetryPolicy(max_retries=2, timeout_s=0.05,
+                          backoff_base_s=0.01, backoff_factor=2.0),
+        admission=AdmissionPolicy(max_queue_depth=4, max_deferrals=2))
+    workload = _workload(200, seed=10)
+    arrivals = arrivals_poisson(200, 2.0, seed=10)
+    idx = list(range(100, 500, 2))  # as a replica shard would pass
+    _assert_kernels_identical(simulator, workload, arrivals, scenario,
+                              idx=idx, with_telemetry=True)
 
 
 # ----------------------------------------------------------------------

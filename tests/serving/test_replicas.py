@@ -135,6 +135,31 @@ def test_replicas_needed_infeasible_slo(estimator):
                         slo_p95_seconds=1e-6, max_replicas=8)
 
 
+def test_replicas_needed_simulates_each_fleet_size_once(estimator,
+                                                       monkeypatch):
+    """The doubling phase can land on the exact answer the binary
+    search re-derives; the per-``k`` memo must keep every fleet size
+    to a single simulation."""
+    import repro.serving.replicas as replicas_module
+
+    evaluated = []
+    original_run = replicas_module.MultiReplicaSimulator.run
+
+    def counting_run(self, *args, **kwargs):
+        evaluated.append(self.n_replicas)
+        return original_run(self, *args, **kwargs)
+
+    monkeypatch.setattr(replicas_module.MultiReplicaSimulator, "run",
+                        counting_run)
+    workload = _workload(150, seed=4)
+    arrivals = arrivals_poisson(150, 2.0, seed=4)
+    needed, report = replicas_needed(estimator, workload, arrivals,
+                                     slo_p95_seconds=8.0)
+    assert report.latency_percentile(0.95) <= 8.0
+    assert len(evaluated) == len(set(evaluated)), evaluated
+    assert needed in evaluated
+
+
 def test_plan_replicas_prices_the_fleet(opt_30b):
     plan, report = plan_replicas(opt_30b, _workload(80),
                                  slo_p95_seconds=60.0,

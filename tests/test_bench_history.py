@@ -28,7 +28,8 @@ def tracker():
 
 def _serving_report(speedup=80.0, overhead=0.05, quick=False,
                     passed=True, degraded_speedup=40.0,
-                    degraded_identical=True):
+                    degraded_identical=True, fleet_availability=1.0,
+                    fleet_deterministic=True, fleet_loses=True):
     return {
         "benchmark": "bench_serving",
         "workload": {"n_requests": 1_000_000},
@@ -38,11 +39,16 @@ def _serving_report(speedup=80.0, overhead=0.05, quick=False,
         "timeseries": {"overhead_fraction": overhead},
         "degraded": {"speedup_mean": degraded_speedup,
                      "bit_identical": degraded_identical},
+        "fleet": {"availability": fleet_availability,
+                  "deterministic": fleet_deterministic,
+                  "ablation": {"strictly_loses": fleet_loses}},
         "gates": {"speedup_mean_min": None if quick else 50.0,
                   "bit_identical": True,
                   "timeseries_overhead_max": None if quick else 0.10,
                   "degraded_speedup_mean_min": None if quick else 20.0,
-                  "degraded_bit_identical": True},
+                  "degraded_bit_identical": True,
+                  "fleet_availability_min": 0.99,
+                  "fleet_deterministic": True},
         "pass": passed,
     }
 
@@ -116,6 +122,36 @@ def test_check_flags_degraded_identity_break(tracker, tmp_path,
     assert tracker.main(["check", str(history),
                          "--committed", committed, "--quick"]) == 1
     assert "degraded engines" in capsys.readouterr().err
+
+
+def test_check_flags_fleet_availability_regression(tracker, tmp_path,
+                                                   capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    lossy = _write(tmp_path / "lossy.json",
+                   _serving_report(fleet_availability=0.95))
+    tracker.main(["append", str(history), lossy, "--commit", ""])
+    # Availability is a correctness gate: it binds in quick mode too.
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 1
+    assert "fleet availability" in capsys.readouterr().err
+
+
+def test_check_flags_fleet_nondeterminism_and_vacuous_ablation(
+        tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    flaky = _write(tmp_path / "flaky.json",
+                   _serving_report(fleet_deterministic=False,
+                                   fleet_loses=False))
+    tracker.main(["append", str(history), flaky, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 1
+    err = capsys.readouterr().err
+    assert "not deterministic" in err
+    assert "load-bearing" in err
 
 
 def test_check_flags_overhead_regression_full_mode_only(

@@ -93,6 +93,11 @@ def test_unknown_model_is_clean_error(capsys):
     ["serve", "--system", "tpu-pod"],
     ["monitor", "--model", "gpt-9"],
     ["monitor", "--system", "tpu-pod"],
+    ["fleet", "--model", "gpt-9"],
+    ["fleet", "--system", "tpu-pod"],
+    ["fleet", "--preset", "hurricane"],
+    ["fleet", "--trace", "full-moon"],
+    ["fleet", "--chaos", "volcano"],
 ])
 def test_unknown_names_exit_nonzero_with_one_line_error(capsys, argv):
     """Every subcommand turns unknown zoo names into `error: ...`, not
@@ -356,3 +361,43 @@ def test_serve_bad_shape_is_clean_error(capsys):
     assert main(["serve", "--shape", "1x128x16"]) == 1
     err = capsys.readouterr().err
     assert err.startswith("error:") and "Traceback" not in err
+
+
+def test_fleet_list_presets(capsys):
+    assert main(["fleet", "--list-presets"]) == 0
+    out = capsys.readouterr().out
+    assert "bursty-chaos" in out
+    assert "diurnal-autoscale" in out
+    assert "chaos scenarios:" in out
+
+
+def test_fleet_preset_run_writes_json(capsys, tmp_path):
+    import json
+
+    payload_path = tmp_path / "fleet.json"
+    assert main(["fleet", "--preset", "replica-crash",
+                 "--num-requests", "300",
+                 "--json", str(payload_path)]) == 0
+    out = capsys.readouterr().out
+    assert "served/dropped" in out
+    assert "availability" in out
+    payload = json.loads(payload_path.read_text())
+    assert payload["n_served"] + payload["n_dropped"] \
+        == payload["n_offered"]
+    assert payload["scenario"] == "replica-crash"
+    assert len(payload["replica_counts"]) >= 1
+
+
+def test_fleet_chaos_file_override(capsys, tmp_path):
+    import json
+
+    from repro.faults.fleet import fleet_to_dict, get_fleet_scenario
+
+    chaos_path = tmp_path / "chaos.json"
+    chaos_path.write_text(json.dumps(
+        fleet_to_dict(get_fleet_scenario("gray-failure"))))
+    assert main(["fleet", "--preset", "bursty-chaos",
+                 "--num-requests", "200",
+                 "--chaos", str(chaos_path)]) == 0
+    out = capsys.readouterr().out
+    assert "chaos gray-failure" in out
