@@ -42,6 +42,17 @@ counters) so the phase gates on exact determinism.  An untimed
 ablation rerun with the retry budget zeroed must strictly lose
 requests — proof that failover is load-bearing, not vacuous.
 
+A sixth phase benchmarks the **continuous-batching scheduler**
+(:mod:`repro.serving.scheduler`) against the FIFO baseline on the
+same mixed-shape workload at a saturating arrival rate.  The metrics
+gated here are *simulated-time* quantities — tokens per simulated
+second, not wall clock — so they bind in ``--quick`` too: the
+scheduler must beat FIFO throughput by the committed factor, every
+rep (and a forced ``REPRO_SWEEP_WORKERS=1`` rerun) must fingerprint
+identically, and the FIFO-degenerate configuration (batch 1, join
+only into an empty batch, unbounded KV) must reproduce the FIFO
+report bit for bit.
+
 The acceptance gates tracked by the repo:
 
 * mean speedup >= 50x on the million-request run
@@ -51,6 +62,9 @@ The acceptance gates tracked by the repo:
 * windowed-metrics overhead < 10% of the vectorized run (full mode)
 * fleet phase: deterministic reps, availability >= 99% with retries
   on, strict request loss with retries off (always)
+* scheduler phase: continuous/FIFO throughput ratio >= 1.3x,
+  deterministic fingerprints across reps and worker counts, and the
+  degenerate config bit-identical to FIFO (always — sim-time gates)
 
 Run: ``PYTHONPATH=src python benchmarks/bench_serving.py [--quick]``
 """
@@ -109,6 +123,20 @@ FLEET_REPLICAS = 4
 #: observed value is 1.0 — the floor leaves room for scenario tuning
 #: without letting failover quietly rot).
 FLEET_AVAILABILITY_MIN = 0.99
+#: Scheduler phase: the iteration loop is per-decode-step Python, so
+#: it runs at its own fixed size like the fleet phase.
+SCHED_N_REQUESTS = 4_000
+QUICK_SCHED_N_REQUESTS = 800
+#: Arrival rate for the scheduler phase — ~2.4x the single-server
+#: FIFO service rate, the saturated regime where continuous batching
+#: pays (at the FIFO-tuned 0.21 the server idles between arrivals and
+#: batching has nothing to amortize: the ratio collapses to ~1.03).
+SCHED_RATE_PER_S = 0.5
+SCHED_MAX_BATCH = 8
+#: Committed floor on continuous/FIFO token throughput (simulated
+#: time).  Observed ~2.2x on the mixed-shape preset; 1.3 leaves room
+#: for cost-model tuning without letting batching quietly rot.
+SCHEDULER_SPEEDUP_MIN = 1.3
 
 
 def composite_scenario(horizon: float) -> FaultScenario:
@@ -359,6 +387,103 @@ def _time_fleet(estimator, n_requests: int,
     }
 
 
+def _time_scheduler(estimator, n_requests: int,
+                    reps: int) -> Dict[str, object]:
+    """Timed continuous-batching phase: scheduler vs FIFO baseline.
+
+    Both engines replay the same mixed-shape workload and the same
+    saturating Poisson trace; the gated quantities are simulated-time
+    statistics (throughput ratio, fingerprint determinism, degenerate
+    bit-identity), so they hold in ``--quick`` as well.  Wall-clock
+    rep times are reported for trend-watching but never gated — the
+    iteration loop is a per-decode-step Python pass.
+    """
+    import os
+
+    from repro.serving.scheduler import (ContinuousBatchScheduler,
+                                         SchedulerConfig)
+
+    workload = WorkloadVector.sample_mix(SHAPES, n_requests, seed=SEED)
+    requests = workload.to_requests()
+    arrivals = arrivals_poisson(n_requests, SCHED_RATE_PER_S, seed=SEED)
+    arrival_array = np.asarray(arrivals, dtype=np.float64)
+
+    # FIFO baseline through the vectorized engine (bit-identical to
+    # the loop — the first phase proves that on every run).
+    simulator = ServingSimulator(estimator)
+    fifo_report = simulator.run(workload, arrival_array,
+                                vectorized=True, streaming=False)
+    fifo_summary = fifo_report.summary(PERCENTILES)
+
+    scheduler_config = SchedulerConfig(
+        max_batch_requests=SCHED_MAX_BATCH)
+    scheduler = ContinuousBatchScheduler(estimator, scheduler_config)
+    scheduler.run(requests, arrivals)  # warm-up (estimator + profile)
+    times: List[float] = []
+    fingerprints = set()
+    report = None
+    for __ in range(reps):
+        gc.collect()
+        start = time.perf_counter()
+        report = scheduler.run(requests, arrivals)
+        times.append(time.perf_counter() - start)
+        fingerprints.add(report.fingerprint())
+    # Worker-count invariance (untimed): the StepProfile grid sweep
+    # must not leak thread scheduling into the timeline.
+    saved_workers = os.environ.get("REPRO_SWEEP_WORKERS")
+    try:
+        os.environ["REPRO_SWEEP_WORKERS"] = "1"
+        serial = ContinuousBatchScheduler(
+            estimator, scheduler_config).run(requests, arrivals)
+    finally:
+        if saved_workers is None:
+            os.environ.pop("REPRO_SWEEP_WORKERS", None)
+        else:
+            os.environ["REPRO_SWEEP_WORKERS"] = saved_workers
+    fingerprints.add(serial.fingerprint())
+
+    # Degenerate config (batch 1, join="drain", unbounded KV) must
+    # collapse to the FIFO report bit for bit — timeline and summary.
+    degenerate = ContinuousBatchScheduler(
+        estimator, SchedulerConfig.fifo_degenerate()).run(requests,
+                                                          arrivals)
+    degenerate_identical = (
+        _summarize(degenerate) == fifo_summary
+        and np.array_equal(
+            np.fromiter((record.start for record in degenerate.served),
+                        dtype=np.float64), fifo_report.starts)
+        and np.array_equal(
+            np.fromiter((record.finish
+                         for record in degenerate.served),
+                        dtype=np.float64), fifo_report.finishes))
+
+    summary = _summarize(report)
+    ratio = (summary["throughput_tokens_per_s"]
+             / fifo_summary["throughput_tokens_per_s"])
+    mean_s = statistics.mean(times)
+    return {
+        "config": (f"ContinuousBatchScheduler(max_batch="
+                   f"{SCHED_MAX_BATCH}, join=step, derived KV tiers) "
+                   f"vs FIFO, rate={SCHED_RATE_PER_S}/s"),
+        "n_requests": n_requests,
+        "rate_per_s": SCHED_RATE_PER_S,
+        "times_s": times,
+        "mean_s": mean_s,
+        "requests_per_s": n_requests / mean_s,
+        "summary": summary,
+        "fifo_summary": fifo_summary,
+        "throughput_ratio": ratio,
+        "iterations": report.iterations,
+        "occupancy_mean": report.occupancy_mean,
+        "occupancy_peak": report.occupancy_peak,
+        "policy_resolves": report.policy_resolves,
+        "kv_peak_bytes": report.kv_peak_bytes,
+        "kv_demotions": report.kv_demotions,
+        "deterministic": len(fingerprints) == 1,
+        "fifo_degenerate_identical": degenerate_identical,
+    }
+
+
 def run(n_requests: int = N_REQUESTS, reps: int = REPS,
         quick: bool = False) -> Dict[str, object]:
     _tune_allocator()
@@ -412,6 +537,14 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
     fleet_ok = (fleet["deterministic"] and fleet["accounting_ok"]
                 and fleet["availability"] >= FLEET_AVAILABILITY_MIN
                 and fleet["ablation"]["strictly_loses"])
+
+    scheduler = _time_scheduler(
+        estimator,
+        QUICK_SCHED_N_REQUESTS if quick else SCHED_N_REQUESTS, reps)
+    scheduler_ok = (
+        scheduler["deterministic"]
+        and scheduler["fifo_degenerate_identical"]
+        and scheduler["throughput_ratio"] >= SCHEDULER_SPEEDUP_MIN)
 
     timeseries = _time_timeseries(vectorized, reps)
     overhead = timeseries["mean_s"] / vectorized["mean_s"]
@@ -470,6 +603,7 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
             "bit_identical": degraded_identical,
         },
         "fleet": fleet,
+        "scheduler": scheduler,
         "timeseries": {
             "config": f"timeseries_from_report(n_windows={TS_WINDOWS}, "
                       "assume_sorted=True) + p50/p95/p99",
@@ -491,15 +625,22 @@ def run(n_requests: int = N_REQUESTS, reps: int = REPS,
                   "timeseries_overhead_max":
                       None if quick else TS_OVERHEAD_MAX,
                   "fleet_availability_min": FLEET_AVAILABILITY_MIN,
-                  "fleet_deterministic": True},
+                  "fleet_deterministic": True,
+                  "scheduler_throughput_ratio_min":
+                      SCHEDULER_SPEEDUP_MIN,
+                  "scheduler_deterministic": True,
+                  "scheduler_fifo_degenerate_identical": True},
         # Quick mode (CI smoke) gates only on the correctness
-        # invariants — bit-identity and the fleet phase (determinism,
-        # availability, the retry ablation): shared CI machines make
-        # wall-clock gates flaky at small n.  The full
+        # invariants — bit-identity, the fleet phase (determinism,
+        # availability, the retry ablation), and the scheduler phase
+        # (throughput ratio, determinism, degenerate identity — all
+        # simulated-time, so size-independent): shared CI machines
+        # make wall-clock gates flaky at small n.  The full
         # million-request run additionally holds the mean speedups to
         # their floors and the windowed-metrics overhead under its
         # ceiling.
         "pass": (identical and degraded_identical and fleet_ok
+                 and scheduler_ok
                  and (quick
                       or (speedup_mean >= 50.0
                           and degraded_speedup >= DEGRADED_SPEEDUP_MIN
@@ -541,6 +682,13 @@ def main() -> int:
           f"{fleet['deterministic']}; retries-off availability "
           f"{fleet['ablation']['availability']:.4%} "
           f"({fleet['ablation']['n_dropped']} dropped)")
+    sched = report["scheduler"]
+    print(f"scheduler ({sched['n_requests']:,} requests, rate "
+          f"{sched['rate_per_s']}/s): {sched['throughput_ratio']:.2f}x "
+          f"FIFO throughput, occupancy {sched['occupancy_mean']:.2f} "
+          f"mean / {sched['occupancy_peak']} peak, deterministic="
+          f"{sched['deterministic']}, degenerate_identical="
+          f"{sched['fifo_degenerate_identical']}")
     ts = report["timeseries"]
     print(f"windowed metrics: {ts['mean_s'] * 1e3:.1f} ms mean "
           f"({ts['overhead_fraction']:.1%} of the vectorized run); "

@@ -26,6 +26,10 @@ with a UTC timestamp.  ``check`` applies, per committed report:
   shared CI machines — substitutes a loose sanity floor for the
   speedup and skips the overhead gate, mirroring the benchmarks'
   own quick mode;
+* scheduler gates are simulated-time quantities (continuous/FIFO
+  throughput ratio, fingerprint determinism, FIFO-degenerate
+  bit-identity), so like the fleet gates they bind in ``--quick``
+  too;
 * the run's own ``pass`` flag must be true.
 
 Stdlib only — it must run on a bare checkout.
@@ -90,6 +94,14 @@ def entry_from_report(report: Dict[str, object],
         if isinstance(ablation, dict):
             entry["fleet_ablation_loses"] = ablation.get(
                 "strictly_loses")
+    scheduler = report.get("scheduler")
+    if isinstance(scheduler, dict):
+        entry["scheduler_throughput_ratio"] = scheduler.get(
+            "throughput_ratio")
+        entry["scheduler_deterministic"] = scheduler.get(
+            "deterministic")
+        entry["scheduler_fifo_degenerate_identical"] = scheduler.get(
+            "fifo_degenerate_identical")
     workload = report.get("workload")
     if isinstance(workload, dict) and "n_requests" in workload:
         entry["n_requests"] = workload["n_requests"]
@@ -187,6 +199,21 @@ def check_against_committed(latest: Dict[str, object],
     if latest.get("fleet_ablation_loses") is False:
         failures.append(f"{name}: retry ablation no longer loses "
                         f"requests — failover is not load-bearing")
+    # Scheduler gates are simulated-time quantities (throughput per
+    # *simulated* second, fingerprints): they bind in quick mode too.
+    ratio_gate = gates.get("scheduler_throughput_ratio_min")
+    ratio = latest.get("scheduler_throughput_ratio")
+    if (ratio_gate is not None and ratio is not None
+            and ratio < ratio_gate):
+        failures.append(
+            f"{name}: scheduler throughput {ratio:.2f}x FIFO under "
+            f"the {ratio_gate:g}x gate")
+    if latest.get("scheduler_deterministic") is False:
+        failures.append(f"{name}: scheduler run is not deterministic "
+                        f"across reps/worker counts")
+    if latest.get("scheduler_fifo_degenerate_identical") is False:
+        failures.append(f"{name}: FIFO-degenerate scheduler config no "
+                        f"longer reproduces the FIFO report")
     overhead_gate = gates.get("timeseries_overhead_max")
     overhead = latest.get("timeseries_overhead")
     if (not quick and overhead_gate is not None

@@ -187,6 +187,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="instead of a fixed fleet, find the "
                             "smallest one whose p95 meets this SLO "
                             "(seconds)")
+    serve.add_argument("--scheduler", choices=["fifo", "continuous"],
+                       default="fifo",
+                       help="serving policy: FIFO queue (default) or "
+                            "iteration-level continuous batching with "
+                            "KV-tier-aware admission")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="continuous scheduler: max requests "
+                            "sharing the running batch")
+    serve.add_argument("--join", choices=["step", "drain"],
+                       default="step",
+                       help="continuous scheduler: admit at every "
+                            "decode step, or only into an empty "
+                            "batch")
+    serve.add_argument("--kv-hbm-gb", type=float, default=0.0,
+                       help="override the HBM KV budget (GB); "
+                            "0 derives it from the system")
+    serve.add_argument("--kv-ddr-gb", type=float, default=0.0,
+                       help="override the DDR KV budget (GB)")
+    serve.add_argument("--kv-cxl-gb", type=float, default=0.0,
+                       help="override the CXL KV budget (GB)")
+    serve.add_argument("--kv-unbounded", action="store_true",
+                       help="disable KV admission control entirely")
     serve.add_argument("--json", default="",
                        help="write the machine-readable report here")
 
@@ -281,6 +303,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="B,L_IN,L_OUT",
                        help="request shape in the mix (repeatable); "
                             "default: a 4-shape tier-1 mix")
+    fleet.add_argument("--scheduler", choices=["fifo", "continuous"],
+                       default="fifo",
+                       help="per-replica serving policy; continuous "
+                            "batching requires an idle chaos "
+                            "scenario (e.g. --chaos none)")
+    fleet.add_argument("--max-batch", type=int, default=8,
+                       help="continuous scheduler: max requests "
+                            "sharing each replica's running batch")
     fleet.add_argument("--windows", type=int, default=64,
                        help="time windows in the exported series")
     fleet.add_argument("--json", default="",
@@ -658,6 +688,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                          seed=args.seed)
     streaming = True if args.streaming else None
 
+    if args.scheduler == "continuous":
+        return _serve_continuous(args, spec, system, config, shapes,
+                                 workload)
+
     if args.slo_p95 > 0.0:
         plan, report = plan_replicas(
             spec, workload, args.slo_p95, system_name=args.system,
@@ -715,6 +749,99 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "replica_utilizations": dict(
                 zip(map(str, report.replica_ids),
                     report.replica_utilizations)),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _serve_continuous(args: argparse.Namespace, spec, system, config,
+                      shapes, workload) -> int:
+    from repro.cxl.residency import KvTierCapacities
+    from repro.serving import run_continuous_fleet
+    from repro.serving.scheduler import SchedulerConfig
+    from repro.serving.simulator import arrivals_poisson
+
+    if args.slo_p95 > 0.0:
+        raise ConfigurationError(
+            "--slo-p95 fleet sizing runs on the FIFO engines; drop "
+            "it with --scheduler continuous")
+    if args.streaming:
+        raise ConfigurationError(
+            "--streaming applies to the vectorized FIFO engine; the "
+            "continuous scheduler materializes its report")
+
+    kv_capacities = None
+    if (args.kv_hbm_gb > 0.0 or args.kv_ddr_gb > 0.0
+            or args.kv_cxl_gb > 0.0):
+        kv_capacities = KvTierCapacities(
+            hbm_bytes=args.kv_hbm_gb * 1e9,
+            ddr_bytes=args.kv_ddr_gb * 1e9,
+            cxl_bytes=args.kv_cxl_gb * 1e9)
+    scheduler_config = SchedulerConfig(
+        max_batch_requests=args.max_batch, join=args.join,
+        kv_capacities=kv_capacities,
+        kv_unbounded=bool(args.kv_unbounded))
+    estimator = LiaEstimator(spec, system, config)
+    arrivals = arrivals_poisson(args.num_requests, args.rate,
+                                seed=args.seed)
+    report = run_continuous_fleet(estimator, workload, arrivals,
+                                  args.replicas,
+                                  scheduler_config=scheduler_config)
+
+    mode = ("fifo-degenerate"
+            if scheduler_config.is_fifo_degenerate else args.join)
+    print(f"served {len(report.served):,} requests on "
+          f"{args.replicas} replica(s), continuous batching "
+          f"(max batch {args.max_batch}, join {mode})")
+    p50 = report.latency_percentile(0.50)
+    p95 = report.latency_percentile(0.95)
+    p99 = report.latency_percentile(0.99)
+    print(f"  p50/p95/p99  : {p50:.3f} / {p95:.3f} / {p99:.3f} s")
+    print(f"  queue delay  : {report.mean_queue_delay:.3f} s mean")
+    print(f"  makespan     : {report.makespan:.3f} s "
+          f"(utilization {report.utilization:.1%})")
+    print(f"  throughput   : {report.throughput_tokens_per_s:.2f} "
+          f"tokens/s")
+    print(f"  batching     : {report.iterations:,} iterations, "
+          f"occupancy {report.occupancy_mean:.2f} mean / "
+          f"{report.occupancy_peak} peak, "
+          f"{report.policy_resolves} policy re-solves")
+    kv_line = ", ".join(f"{tier} {peak / 1e9:.2f} GB"
+                        for tier, peak
+                        in report.kv_peak_bytes.items())
+    print(f"  kv peak      : {kv_line}; "
+          f"{report.kv_demotions} demotion(s)")
+
+    if args.json:
+        import json
+
+        payload = {
+            "model": spec.name, "system": system.name,
+            "num_requests": args.num_requests, "rate_per_s": args.rate,
+            "seed": args.seed, "replicas": args.replicas,
+            "scheduler": "continuous",
+            "shapes": [[request.batch_size, request.input_len,
+                        request.output_len] for request in shapes],
+            "percentiles": {"p50": p50, "p95": p95, "p99": p99},
+            "mean_queue_delay_s": report.mean_queue_delay,
+            "makespan_s": report.makespan,
+            "utilization": report.utilization,
+            "throughput_tokens_per_s": report.throughput_tokens_per_s,
+            "batching": {
+                "max_batch_requests": args.max_batch,
+                "join": args.join,
+                "fifo_degenerate":
+                    scheduler_config.is_fifo_degenerate,
+                "iterations": report.iterations,
+                "admissions": report.admissions,
+                "occupancy_mean": report.occupancy_mean,
+                "occupancy_peak": report.occupancy_peak,
+                "policy_resolves": report.policy_resolves,
+                "kv_peak_bytes": report.kv_peak_bytes,
+                "kv_demotions": report.kv_demotions,
+            },
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -902,6 +1029,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         shapes, trace_spec.n_requests, seed=args.seed)
     arrivals = trace_spec.generate()
 
+    if args.scheduler == "continuous":
+        if not chaos.idle:
+            raise ConfigurationError(
+                f"the continuous scheduler has no chaos-injected "
+                f"variant yet; scenario {chaos.name!r} is not idle "
+                "(pass --chaos none)")
+        return _fleet_continuous(args, spec, system, estimator,
+                                 trace_spec, chaos, workload,
+                                 arrivals, n_replicas)
+
     from repro.serving import FleetSimulator
 
     simulator = FleetSimulator(
@@ -970,6 +1107,75 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                       "chaos": chaos.name,
                       "availability": f"{report.availability:.4%}"})
         print(f"wrote {path}")
+    return 0
+
+
+def _fleet_continuous(args: argparse.Namespace, spec, system,
+                      estimator, trace_spec, chaos, workload,
+                      arrivals, n_replicas: int) -> int:
+    from repro.energy.cost import CostModel
+    from repro.serving import run_continuous_fleet
+    from repro.serving.scheduler import SchedulerConfig
+
+    if args.html:
+        raise ConfigurationError(
+            "--html renders the chaos/autoscaler dashboard; it is "
+            "not wired to the continuous scheduler yet")
+    scheduler_config = SchedulerConfig(
+        max_batch_requests=args.max_batch)
+    report = run_continuous_fleet(estimator, workload, arrivals,
+                                  n_replicas,
+                                  scheduler_config=scheduler_config)
+    usd_per_hour = CostModel(system).usd_per_hour()
+
+    print(f"fleet {args.preset}: {spec.name} on {system.name}, "
+          f"trace {trace_spec.name} ({len(report.served):,} "
+          f"requests), chaos {chaos.name} (idle), continuous "
+          f"batching x{n_replicas} replica(s)")
+    p50 = report.latency_percentile(0.50)
+    p95 = report.latency_percentile(0.95)
+    print(f"  p50/p95        : {p50:.3f} / {p95:.3f} s")
+    print(f"  batching       : {report.iterations:,} iterations, "
+          f"occupancy {report.occupancy_mean:.2f} mean / "
+          f"{report.occupancy_peak} peak, "
+          f"{report.policy_resolves} policy re-solves")
+    print(f"  throughput     : "
+          f"{report.throughput_tokens_per_s:.2f} tokens/s over a "
+          f"{report.makespan:,.0f} s makespan")
+    replica_seconds = report.makespan * n_replicas
+    cost = (usd_per_hour / 3600.0) * replica_seconds
+    print(f"  cost           : {replica_seconds:,.0f} "
+          f"replica-seconds, ${cost:,.2f}")
+
+    if args.json:
+        import json
+
+        payload = {
+            "preset": args.preset, "model": spec.name,
+            "system": system.name, "trace": trace_spec.name,
+            "scheduler": "continuous", "chaos": chaos.name,
+            "n_replicas_initial": n_replicas,
+            "n_offered": len(report.served),
+            "n_served": len(report.served), "n_dropped": 0,
+            "availability": 1.0,
+            "p50_s": p50, "p95_s": p95,
+            "makespan_s": report.makespan,
+            "throughput_tokens_per_s":
+                report.throughput_tokens_per_s,
+            "usd_per_hour_per_replica": usd_per_hour,
+            "batching": {
+                "max_batch_requests": args.max_batch,
+                "iterations": report.iterations,
+                "occupancy_mean": report.occupancy_mean,
+                "occupancy_peak": report.occupancy_peak,
+                "policy_resolves": report.policy_resolves,
+                "kv_peak_bytes": report.kv_peak_bytes,
+                "kv_demotions": report.kv_demotions,
+            },
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -9,12 +9,22 @@
 * :mod:`repro.cxl.tiering` — the memory-offloading policy: all
   parameters in CXL, KV cache and activations in DDR; DDR savings and
   the larger feasible batch sizes of Table 3.
+* :mod:`repro.cxl.residency` — per-request KV-cache residency
+  accounting across GPU HBM / DDR / CXL for the continuous-batching
+  scheduler: waterfall placement, demote-oldest under HBM pressure,
+  capacity/conservation invariants.
 """
 
 from repro.cxl.allocator import Allocation, TieredAllocator
 from repro.cxl.bandwidth import (
     cpu_throughput_degradation,
     transfer_bandwidth_series,
+)
+from repro.cxl.residency import (
+    KV_TIERS,
+    KvResidency,
+    KvTierCapacities,
+    kv_capacities_from_system,
 )
 from repro.cxl.tiering import (
     CxlTieringPlan,
@@ -30,4 +40,8 @@ __all__ = [
     "CxlTieringPlan",
     "adaptive_config",
     "plan_tiering",
+    "KV_TIERS",
+    "KvResidency",
+    "KvTierCapacities",
+    "kv_capacities_from_system",
 ]

@@ -13,7 +13,7 @@ larger B, up to 1.45x higher throughput).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.config import LiaConfig
 from repro.core.estimator import LiaEstimator, host_memory_usage
@@ -89,7 +89,7 @@ def plan_tiering(spec: ModelSpec, request: InferenceRequest,
 def max_batch_with_and_without_cxl(spec: ModelSpec, system: SystemConfig,
                                    input_len: int, output_len: int,
                                    config: Optional[LiaConfig] = None
-                                   ) -> (int, int):
+                                   ) -> Tuple[int, int]:
     """The Table 3 batch-size comparison: (without CXL, with CXL).
 
     "With CXL" means weights move to the expander pool, freeing DDR

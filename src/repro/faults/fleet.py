@@ -415,6 +415,17 @@ def _rolling_restart() -> FleetScenario:
         redispatch=RedispatchPolicy(max_retries=2))
 
 
+def _none() -> FleetScenario:
+    """The armed-but-idle scenario: no faults, no hedging.
+
+    Chaos-agnostic callers (the continuous-batching fleet path, CI
+    bit-identity checks) can name an explicitly inert scenario; by
+    the :attr:`FleetScenario.idle` contract a run under it is
+    bit-identical to running with no chaos at all.
+    """
+    return FleetScenario(name="none", seed=0)
+
+
 def _bursty_chaos() -> FleetScenario:
     """A crash and a gray failure overlapping the traffic burst."""
     return FleetScenario(
@@ -431,6 +442,7 @@ def _bursty_chaos() -> FleetScenario:
 
 
 _PRESETS = {
+    "none": _none,
     "replica-crash": _replica_crash,
     "gray-failure": _gray_failure,
     "rolling-restart": _rolling_restart,

@@ -24,6 +24,11 @@ needs the two wrappers this package provides:
 * :mod:`repro.serving.fleet` — the control plane under test: replica
   chaos, circuit-breaker failover with re-dispatch/hedging, and a
   reactive autoscaler driven by the workload-trace layer.
+* :mod:`repro.serving.scheduler` — iteration-level continuous
+  batching (ORCA-style): requests join/leave the running batch each
+  decode step, KV bytes are admitted against tiered HBM/DDR/CXL
+  capacity, and Eq. (1) is re-solved as the batch composition
+  changes.
 """
 
 from repro.serving.batcher import Batch, pack_requests
@@ -41,6 +46,11 @@ from repro.serving.planner import (PlanChoice, ReplicaPlan,
 from repro.serving.replicas import (DegradedScaleOutReport,
                                     MultiReplicaSimulator,
                                     ScaleOutReport, replicas_needed)
+from repro.serving.scheduler import (MIXED_SHAPES,
+                                     ContinuousBatchScheduler,
+                                     ContinuousServingReport,
+                                     SchedulerConfig, StepProfile,
+                                     run_continuous_fleet)
 from repro.serving.simulator import (ServedRequest, ServingReport,
                                      ServingSimulator, arrivals_poisson,
                                      validate_arrivals)
@@ -81,4 +91,10 @@ __all__ = [
     "WorkloadVector",
     "lindley_timeline",
     "run_vectorized",
+    "MIXED_SHAPES",
+    "ContinuousBatchScheduler",
+    "ContinuousServingReport",
+    "SchedulerConfig",
+    "StepProfile",
+    "run_continuous_fleet",
 ]

@@ -22,6 +22,7 @@ from repro.models.workload import InferenceRequest
 
 if TYPE_CHECKING:
     from repro.faults.spec import FaultScenario
+    from repro.serving.scheduler import SchedulerConfig
     from repro.serving.vectorized import WorkloadVector
 from repro.telemetry.bridge import (serving_report_to_metrics,
                                     serving_report_to_spans)
@@ -183,8 +184,21 @@ class ServingSimulator:
             arrivals: Sequence[float],
             scenario: Optional["FaultScenario"] = None,
             vectorized: Optional[bool] = None,
-            streaming: Optional[bool] = None) -> ServingReport:
+            streaming: Optional[bool] = None,
+            scheduler: Union[None, str, "SchedulerConfig"] = None
+            ) -> ServingReport:
         """Serve ``requests`` arriving at ``arrivals`` (seconds).
+
+        ``scheduler`` picks the serving policy: ``None`` / ``"fifo"``
+        is the FIFO queue below; ``"continuous"`` (or a
+        :class:`~repro.serving.scheduler.SchedulerConfig`) dispatches
+        to the iteration-level continuous-batching engine of
+        :mod:`repro.serving.scheduler`, which returns a
+        :class:`~repro.serving.scheduler.ContinuousServingReport`
+        (a :class:`ServingReport` subtype).  The continuous engine
+        has no degraded or array variant yet, so combining it with
+        ``scenario``/``vectorized``/``streaming`` is a
+        :class:`ConfigurationError`, never a silent ignore.
 
         ``scenario`` switches to the fault-injected loop of
         :mod:`repro.serving.degradation`.  ``None`` — and any *idle*
@@ -209,6 +223,32 @@ class ServingSimulator:
         materializes its report), never a silent no-op.
         """
         from repro.serving.vectorized import WorkloadVector, run_vectorized
+
+        if scheduler is not None and scheduler != "fifo":
+            from repro.serving.scheduler import (ContinuousBatchScheduler,
+                                                 SchedulerConfig)
+
+            if scenario is not None and not scenario.idle:
+                raise ConfigurationError(
+                    "the continuous scheduler has no fault-injected "
+                    "variant; run scenario= through the FIFO path")
+            if vectorized or streaming is not None:
+                raise ConfigurationError(
+                    "vectorized=/streaming= apply to the FIFO "
+                    "engines; the continuous scheduler is "
+                    "iteration-level")
+            if isinstance(scheduler, SchedulerConfig):
+                scheduler_config: Optional[SchedulerConfig] = scheduler
+            elif scheduler == "continuous":
+                scheduler_config = None
+            else:
+                raise ConfigurationError(
+                    f"scheduler must be None, 'fifo', 'continuous', "
+                    f"or a SchedulerConfig, got {scheduler!r}")
+            engine = ContinuousBatchScheduler(
+                self.estimator, scheduler_config,
+                telemetry=self._telemetry)
+            return engine.run(requests, arrivals)
 
         columnar = isinstance(requests, WorkloadVector)
         n_requests = (requests.n_requests if columnar
@@ -289,11 +329,15 @@ class ServingSimulator:
                     rate_per_s: float, seed: int = 0,
                     scenario: Optional["FaultScenario"] = None,
                     vectorized: Optional[bool] = None,
-                    streaming: Optional[bool] = None) -> ServingReport:
+                    streaming: Optional[bool] = None,
+                    scheduler: Union[None, str,
+                                     "SchedulerConfig"] = None
+                    ) -> ServingReport:
         """Serve with Poisson arrivals at ``rate_per_s`` (seeded)."""
         n_requests = (requests.n_requests
                       if hasattr(requests, "n_requests")
                       else len(requests))
         arrivals = arrivals_poisson(n_requests, rate_per_s, seed=seed)
         return self.run(requests, arrivals, scenario=scenario,
-                        vectorized=vectorized, streaming=streaming)
+                        vectorized=vectorized, streaming=streaming,
+                        scheduler=scheduler)

@@ -30,6 +30,7 @@ Typical use::
 
 from repro.telemetry.bridge import (
     note_dropped_spans,
+    scheduler_report_to_metrics,
     serving_report_to_metrics,
     serving_report_to_spans,
     timeline_to_spans,
@@ -69,6 +70,7 @@ from repro.telemetry.timeseries import (
     evaluate_slo,
     fleet_timeseries,
     monitor_report,
+    occupancy_timeseries,
     timeseries_from_report,
 )
 
@@ -96,6 +98,7 @@ __all__ = [
     "evaluate_slo",
     "fleet_timeseries",
     "monitor_report",
+    "occupancy_timeseries",
     "timeseries_from_report",
     "build_chrome_trace",
     "render_metrics",
@@ -107,6 +110,7 @@ __all__ = [
     "write_metrics_json",
     "write_timeseries_csv",
     "note_dropped_spans",
+    "scheduler_report_to_metrics",
     "serving_report_to_metrics",
     "serving_report_to_spans",
     "timeline_to_spans",

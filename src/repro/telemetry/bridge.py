@@ -98,6 +98,43 @@ def serving_report_to_metrics(report, metrics: MetricsRegistry,
     metrics.gauge("serving.makespan_s", **labels).set(report.makespan)
 
 
+def scheduler_report_to_metrics(report, metrics: MetricsRegistry,
+                                system: str = "",
+                                model: str = "") -> None:
+    """Fold a :class:`ContinuousServingReport` into the registry.
+
+    Emits the shared ``serving.*`` histograms (the report is a
+    :class:`ServingReport`), then the scheduler-specific evidence:
+    iteration/admission/policy-resolve counters, the batch-occupancy
+    gauges, and per-tier peak KV bytes under
+    ``scheduler.kv_peak_bytes{tier=...}``.
+    """
+    serving_report_to_metrics(report, metrics, system=system,
+                              model=model)
+    labels = {}
+    if system:
+        labels["system"] = system
+    if model:
+        labels["model"] = model
+    metrics.counter("scheduler.iterations",
+                    **labels).inc(report.iterations)
+    metrics.counter("scheduler.admissions",
+                    **labels).inc(report.admissions)
+    metrics.counter("scheduler.completions",
+                    **labels).inc(len(report.served))
+    metrics.counter("scheduler.policy_resolves",
+                    **labels).inc(report.policy_resolves)
+    metrics.counter("scheduler.kv_demotions",
+                    **labels).inc(report.kv_demotions)
+    metrics.gauge("scheduler.occupancy_mean",
+                  **labels).set(report.occupancy_mean)
+    metrics.gauge("scheduler.occupancy_peak",
+                  **labels).set(float(report.occupancy_peak))
+    for tier, peak in report.kv_peak_bytes.items():
+        metrics.gauge("scheduler.kv_peak_bytes", tier=tier,
+                      **labels).set(peak)
+
+
 def vectorized_report_to_metrics(report, metrics: MetricsRegistry,
                                  system: str = "", model: str = "",
                                  **extra: str) -> None:

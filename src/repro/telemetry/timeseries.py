@@ -173,18 +173,23 @@ def _segment_sums(values: np.ndarray,
                   bounds: np.ndarray) -> np.ndarray:
     """Per-window sums of ``values`` split at cumulative ``bounds``.
 
-    ``np.add.reduceat`` folds each segment left-to-right (the order
-    the per-request loop would add them); empty segments — where
-    reduceat echoes a stray element instead of 0 — are masked out.
+    ``bounds`` must be nondecreasing with ``bounds[-1] == values.size``
+    (the :func:`_edge_counts` contract).  ``np.add.reduceat`` folds
+    each segment left-to-right (the order the per-request loop would
+    add them), but only the non-empty segments are handed to it:
+    reduceat cannot represent a start index of ``values.size``, and
+    clamping one to ``size - 1`` would drop the final element from the
+    preceding window.  Because the bounds are monotone, each non-empty
+    segment's upper bound equals the next non-empty segment's lower
+    bound, so the non-empty lows alone are valid reduceat boundaries
+    and the last one runs to the end of the array.
     """
-    n = values.size
-    if n == 0:
-        return np.zeros(bounds.size - 1)
-    index = np.minimum(bounds[:-1], n - 1)
-    sums = np.add.reduceat(values, index)
-    empty = bounds[1:] == bounds[:-1]
-    if empty.any():
-        sums[empty] = 0.0
+    sums = np.zeros(bounds.size - 1)
+    if values.size == 0:
+        return sums
+    nonempty = bounds[1:] > bounds[:-1]
+    if nonempty.any():
+        sums[nonempty] = np.add.reduceat(values, bounds[:-1][nonempty])
     return sums
 
 
@@ -709,6 +714,39 @@ def timeseries_from_report(report, *,
         percentile_stride=percentile_stride)
 
 
+def occupancy_timeseries(report, *,
+                         grid: Optional[WindowGrid] = None,
+                         n_windows: int = DEFAULT_N_WINDOWS,
+                         window_s: Optional[float] = None
+                         ) -> Tuple[WindowGrid, np.ndarray]:
+    """Per-window mean concurrency of a serving report.
+
+    The batch-occupancy view of the continuous-batching scheduler:
+    how many requests shared the server in each window, on average —
+    ``∫ in-service(t) dt / window_s`` via the exact
+    :func:`_busy_seconds` integral.  FIFO reports cap at 1.0 by
+    construction; a healthy continuous-batching run sits near its
+    ``max_batch_requests``.  Returns ``(grid, concurrency)`` with one
+    float per window.
+    """
+    served = report.served
+    count = len(served)
+    starts = np.sort(np.fromiter((r.start for r in served),
+                                 dtype=np.float64, count=count))
+    finishes = np.sort(np.fromiter((r.finish for r in served),
+                                   dtype=np.float64, count=count))
+    if grid is None:
+        horizon = float(finishes[-1]) if count else 1.0
+        grid = WindowGrid.cover(horizon, n_windows=n_windows,
+                                window_s=window_s)
+    edges = grid.edges
+    start_counts = _edge_counts(starts, edges)
+    finish_counts = _edge_counts(finishes, edges)
+    busy = _busy_seconds(grid, starts, finishes,
+                         start_counts, finish_counts)
+    return grid, busy / grid.window_s
+
+
 @dataclass
 class FleetTimeseries:
     """Per-replica series plus their sum on one shared grid."""
@@ -1091,5 +1129,6 @@ __all__ = [
     "evaluate_slo",
     "fleet_timeseries",
     "monitor_report",
+    "occupancy_timeseries",
     "timeseries_from_report",
 ]

@@ -97,6 +97,28 @@ def test_handcrafted_channels_are_exact():
     np.testing.assert_allclose(series.utilization, 1.0)
 
 
+def test_segment_sums_handle_bounds_that_saturate_early():
+    # Regression: when the cumulative bounds hit ``values.size``
+    # before the final edge (all events exhausted mid-grid), the old
+    # reduceat clamp dropped the last element from the window that
+    # consumed it and echoed it into an empty one.
+    from repro.telemetry.timeseries import _edge_counts, _segment_sums
+
+    values = np.array([0.5, 1.5, 2.5, 3.5])
+    edges = np.array([0.0, 2.0, 4.0, 6.0, 8.0])
+    bounds = _edge_counts(values, edges)
+    assert bounds.tolist() == [0, 2, 4, 4, 4]
+    sums = _segment_sums(values, bounds)
+    np.testing.assert_allclose(sums, [2.0, 6.0, 0.0, 0.0])
+    # Per-window sums always partition the total.
+    assert sums.sum() == pytest.approx(values.sum())
+    # All-empty and empty-input degenerate cases.
+    np.testing.assert_allclose(
+        _segment_sums(values, np.zeros(5, dtype=int)), 0.0)
+    np.testing.assert_allclose(
+        _segment_sums(np.array([]), bounds * 0), 0.0)
+
+
 def test_busy_seconds_match_bruteforce_integral(simulator):
     workload = WorkloadVector.sample_mix(SHAPE_MIXES["tier1"], 200,
                                          seed=5)

@@ -29,7 +29,9 @@ def tracker():
 def _serving_report(speedup=80.0, overhead=0.05, quick=False,
                     passed=True, degraded_speedup=40.0,
                     degraded_identical=True, fleet_availability=1.0,
-                    fleet_deterministic=True, fleet_loses=True):
+                    fleet_deterministic=True, fleet_loses=True,
+                    scheduler_ratio=2.2, scheduler_deterministic=True,
+                    scheduler_degenerate=True):
     return {
         "benchmark": "bench_serving",
         "workload": {"n_requests": 1_000_000},
@@ -42,13 +44,20 @@ def _serving_report(speedup=80.0, overhead=0.05, quick=False,
         "fleet": {"availability": fleet_availability,
                   "deterministic": fleet_deterministic,
                   "ablation": {"strictly_loses": fleet_loses}},
+        "scheduler": {
+            "throughput_ratio": scheduler_ratio,
+            "deterministic": scheduler_deterministic,
+            "fifo_degenerate_identical": scheduler_degenerate},
         "gates": {"speedup_mean_min": None if quick else 50.0,
                   "bit_identical": True,
                   "timeseries_overhead_max": None if quick else 0.10,
                   "degraded_speedup_mean_min": None if quick else 20.0,
                   "degraded_bit_identical": True,
                   "fleet_availability_min": 0.99,
-                  "fleet_deterministic": True},
+                  "fleet_deterministic": True,
+                  "scheduler_throughput_ratio_min": 1.3,
+                  "scheduler_deterministic": True,
+                  "scheduler_fifo_degenerate_identical": True},
         "pass": passed,
     }
 
@@ -72,6 +81,9 @@ def test_append_then_check_roundtrip(tracker, tmp_path):
     assert entry["timeseries_overhead"] == 0.05
     assert entry["degraded_speedup_mean"] == 40.0
     assert entry["degraded_bit_identical"] is True
+    assert entry["scheduler_throughput_ratio"] == 2.2
+    assert entry["scheduler_deterministic"] is True
+    assert entry["scheduler_fifo_degenerate_identical"] is True
     assert entry["commit"] == "abc123"
     assert entry["quick"] is False
     assert tracker.main(["check", str(history),
@@ -152,6 +164,38 @@ def test_check_flags_fleet_nondeterminism_and_vacuous_ablation(
     err = capsys.readouterr().err
     assert "not deterministic" in err
     assert "load-bearing" in err
+
+
+def test_check_flags_scheduler_throughput_regression(tracker,
+                                                     tmp_path,
+                                                     capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    slow = _write(tmp_path / "slow.json",
+                  _serving_report(scheduler_ratio=1.1))
+    tracker.main(["append", str(history), slow, "--commit", ""])
+    # The ratio is tokens per *simulated* second — a correctness-ish
+    # gate that binds in quick mode too.
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 1
+    assert "scheduler throughput 1.10x" in capsys.readouterr().err
+
+
+def test_check_flags_scheduler_determinism_and_degenerate_break(
+        tracker, tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    committed = _write(tmp_path / "committed.json",
+                       _serving_report())
+    broken = _write(tmp_path / "broken.json",
+                    _serving_report(scheduler_deterministic=False,
+                                    scheduler_degenerate=False))
+    tracker.main(["append", str(history), broken, "--commit", ""])
+    assert tracker.main(["check", str(history),
+                         "--committed", committed, "--quick"]) == 1
+    err = capsys.readouterr().err
+    assert "scheduler run is not deterministic" in err
+    assert "FIFO-degenerate" in err
 
 
 def test_check_flags_overhead_regression_full_mode_only(
