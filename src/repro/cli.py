@@ -96,7 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "summation (see docs/PERFORMANCE.md)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="sweep worker threads (default: cpu count, "
-                            "capped; env REPRO_SWEEP_WORKERS)")
+                            "capped; 0 = serial; env "
+                            "REPRO_SWEEP_WORKERS)")
+    sweep.add_argument("--processes", type=int, default=None,
+                       help="sweep worker *processes* — scales past "
+                            "the GIL with bit-identical results "
+                            "(default: env REPRO_SWEEP_PROCESSES; "
+                            "0 disables the process pool)")
     sweep.add_argument("--json", default="",
                        help="also write the rows as JSON here")
 
@@ -400,33 +406,43 @@ def _cmd_policy_map(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.cache import cache_stats, clear_caches
+    from repro.experiments.parallel import KernelCall, default_processes
     from repro.experiments.runner import default_workers, run_sweep
 
     spec = get_model(args.model)
     system = get_system(args.system)
     config = LiaConfig(enforce_host_capacity=False,
                        decode_eval=args.decode_eval)
-    estimator = LiaEstimator(spec, system, config)
     clear_caches()
-    points = [InferenceRequest(batch, input_len, output_len)
+    points = [(batch, input_len, output_len)
               for batch in args.batches
               for input_len in args.input_lens
               for output_len in args.output_lens]
-    workers = args.workers if args.workers else default_workers()
-    estimates = run_sweep(estimator.estimate, points, workers=workers)
+    workers = (default_workers() if args.workers is None
+               else args.workers)
+    processes = (default_processes() if args.processes is None
+                 else args.processes)
+    # Every mode runs the same registered kernel, so serial, thread,
+    # and process sweeps print bit-identical rows.
+    estimates = run_sweep(
+        KernelCall("estimate", (spec.name, system.name, config)),
+        points, workers=workers, processes=processes)
+    executor = (f"{processes} processes" if processes
+                else f"{workers} workers")
     print(f"{spec.name} on {system.name}: {len(points)} grid points, "
-          f"{workers} workers, decode_eval={args.decode_eval}")
+          f"{executor}, decode_eval={args.decode_eval}")
     print(f"{'B':>6} {'L_in':>6} {'L_out':>6} {'latency_s':>12} "
           f"{'tokens_per_s':>14}  policy (prefill/decode)")
     rows = []
-    for request, estimate in zip(points, estimates):
-        print(f"{request.batch_size:>6} {request.input_len:>6} "
-              f"{request.output_len:>6} {estimate.latency:>12.4f} "
+    for (batch, input_len, output_len), estimate in zip(points,
+                                                        estimates):
+        print(f"{batch:>6} {input_len:>6} "
+              f"{output_len:>6} {estimate.latency:>12.4f} "
               f"{estimate.throughput:>14.2f}  "
               f"{estimate.prefill_policy}/{estimate.decode_policy}")
-        rows.append({"batch_size": request.batch_size,
-                     "input_len": request.input_len,
-                     "output_len": request.output_len,
+        rows.append({"batch_size": batch,
+                     "input_len": input_len,
+                     "output_len": output_len,
                      "latency_s": estimate.latency,
                      "tokens_per_s": estimate.throughput,
                      "prefill_policy": str(estimate.prefill_policy),

@@ -104,18 +104,31 @@ def optimal_policy(spec: ModelSpec, stage: Stage, batch_size: int,
 def policy_map(spec: ModelSpec, stage: Stage, batch_sizes: Sequence[int],
                context_lens: Sequence[int], system: SystemConfig,
                config: LiaConfig,
-               workers: Optional[int] = None
+               workers: Optional[int] = None,
+               processes: Optional[int] = None
                ) -> Dict[Tuple[int, int], OffloadPolicy]:
     """Fig. 9: the optimal policy over a (B, L) grid.
 
     Returns ``{(batch_size, context_len): policy}``.  Grid points are
     independent Eq. (1) searches, so they fan out over the sweep
-    runner; the result is deterministic regardless of ``workers``.
+    runner — process-parallel via the ``policy_map`` kernel when
+    ``processes``/``REPRO_SWEEP_PROCESSES`` asks for it and the spec
+    and system rebuild from the zoo by name, thread-parallel
+    otherwise; the result is deterministic regardless of ``workers``
+    or ``processes``.
     """
+    from repro.experiments.kernels import zoo_resolvable
+    from repro.experiments.parallel import KernelCall
     from repro.experiments.runner import run_sweep
 
     points = [(batch_size, context_len) for batch_size in batch_sizes
               for context_len in context_lens]
+    if zoo_resolvable(spec, system):
+        policies = run_sweep(
+            KernelCall("policy_map",
+                       (spec.name, system.name, stage, config)),
+            points, workers=workers, processes=processes)
+        return dict(zip(points, policies))
     decisions = run_sweep(
         lambda point: optimal_policy(spec, stage, point[0], point[1],
                                      system, config),

@@ -243,10 +243,16 @@ class KvResidency:
             ) from None
         freed = 0.0
         for tier, nbytes in allocation.items():
-            self._used[tier] -= nbytes
-            # Clamp float dust so capacity checks stay exact.
-            if self._used[tier] < 0.0:
-                self._used[tier] = 0.0
+            # Re-derive the tier's usage from the surviving
+            # allocations rather than subtracting incrementally:
+            # admissions and demotions add bytes in a different order
+            # than releases subtract them, so incremental updates
+            # accumulate float residue that eventually breaks
+            # conservation against the allocation ledger (an emptied
+            # tier could report ~1e-6 bytes still in use).
+            self._used[tier] = math.fsum(
+                alloc.get(tier, 0.0)
+                for alloc in self._allocations.values())
             freed += nbytes
         return freed
 

@@ -11,14 +11,13 @@ off accordingly.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.experiments.fig10_online_latency import DEFAULT_PAIRS
-from repro.experiments.frameworks import estimate_or_oom
-from repro.experiments.reporting import OOM, ExperimentResult
+from repro.experiments.parallel import KernelCall
+from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import run_sweep
-from repro.hardware.system import get_system
-from repro.models.workload import InferenceRequest, paper_input_lengths
+from repro.models.workload import paper_input_lengths
 from repro.models.zoo import get_model
 
 DEFAULT_FRAMEWORKS = ("lia", "ipex", "flexgen")
@@ -27,11 +26,14 @@ DEFAULT_FRAMEWORKS = ("lia", "ipex", "flexgen")
 def run(pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
         frameworks: Sequence[str] = DEFAULT_FRAMEWORKS,
         batch_sizes: Sequence[int] = (64, 900),
-        output_lens: Sequence[int] = (32, 256)) -> ExperimentResult:
+        output_lens: Sequence[int] = (32, 256),
+        processes: Optional[int] = None) -> ExperimentResult:
     """Throughput rows (tokens/s) for the full Fig. 11 grid.
 
     Grid cells are independent estimates; the sweep runner fans them
-    out and returns them in deterministic input order.
+    out — threads by default, the process pool under ``processes`` /
+    ``REPRO_SWEEP_PROCESSES`` via the ``fig11.throughput`` kernel —
+    and returns them in deterministic input order.
     """
     result = ExperimentResult(
         experiment_id="fig11",
@@ -39,28 +41,24 @@ def run(pairs: Sequence[Tuple[str, str]] = DEFAULT_PAIRS,
     points = []
     for system_name, model in pairs:
         spec = get_model(model)
-        system = get_system(system_name)
         for batch_size in batch_sizes:
             for output_len in output_lens:
                 for input_len in paper_input_lengths(spec, output_len):
-                    request = InferenceRequest(batch_size, input_len,
-                                               output_len)
                     for framework in frameworks:
                         points.append((system_name, model, framework,
-                                       spec, system, request))
+                                       batch_size, input_len,
+                                       output_len))
 
-    def estimate(point) -> object:
-        _, __, framework, spec, system, request = point
-        estimated = estimate_or_oom(framework, spec, system, request)
-        return OOM if estimated == OOM else estimated.throughput
-
-    for point, throughput in zip(points, run_sweep(estimate, points)):
-        system_name, model, framework, _, __, request = point
+    throughputs = run_sweep(KernelCall("fig11.throughput"), points,
+                            processes=processes)
+    for point, throughput in zip(points, throughputs):
+        system_name, model, framework, batch_size, input_len, \
+            output_len = point
         result.add_row(system=system_name, model=model,
                        framework=framework,
-                       batch_size=request.batch_size,
-                       input_len=request.input_len,
-                       output_len=request.output_len,
+                       batch_size=batch_size,
+                       input_len=input_len,
+                       output_len=output_len,
                        tokens_per_s=throughput)
     return result
 

@@ -55,6 +55,8 @@ __all__ = [
     "FleetSimulator",
     "builtin_fleet_presets",
     "get_fleet_preset",
+    "run_fleet_cell",
+    "sweep_fleet_grid",
 ]
 
 
@@ -965,3 +967,88 @@ def get_fleet_preset(name: str) -> FleetPreset:
             f"unknown fleet preset {name!r}; "
             f"known presets: {known}") from None
     return build()
+
+
+# ----------------------------------------------------------------------
+# Trace x chaos x fleet-size grid sweeps
+# ----------------------------------------------------------------------
+def run_fleet_cell(estimator, trace_name: str, chaos_name: str,
+                   n_replicas: int, *, shapes: Sequence,
+                   seed: int = 0, n_requests: int = 0
+                   ) -> Dict[str, Any]:
+    """One grid cell: a whole :class:`FleetSimulator` run, summarized.
+
+    The trace and chaos presets rebuild by name (both are seeded
+    specs, so regeneration is deterministic), the request mix samples
+    from the shared ``(seed, shapes)`` contract, and only the scalar
+    cross-section returns — the same dict whether the cell runs
+    in-process or inside a ``fleet.cell`` sweep worker.
+    ``n_requests > 0`` rescales the trace (0 keeps the preset size).
+    """
+    trace_spec = get_trace(trace_name)
+    if n_requests > 0:
+        trace_spec = trace_spec.scaled(n_requests)
+    workload = WorkloadVector.sample_mix(
+        tuple(shapes), trace_spec.n_requests, seed=seed)
+    arrivals = trace_spec.generate()
+    scenario = get_fleet_scenario(chaos_name)
+    simulator = FleetSimulator(estimator, n_replicas=n_replicas,
+                               scenario=scenario)
+    report = simulator.run(workload, arrivals)
+    return {
+        "trace": trace_name,
+        "chaos": chaos_name,
+        "n_replicas": n_replicas,
+        "n_offered": report.n_offered,
+        "n_served": report.n_served,
+        "n_dropped": report.n_dropped,
+        "availability": report.availability,
+        "p50_s": report.latency_percentile(0.50),
+        "p95_s": report.latency_percentile(0.95),
+        "p99_s": report.latency_percentile(0.99),
+        "makespan_s": report.makespan,
+        "replica_seconds": report.replica_seconds,
+    }
+
+
+def sweep_fleet_grid(estimator, trace_names: Sequence[str],
+                     chaos_names: Sequence[str],
+                     replica_counts: Sequence[int], *,
+                     shapes: Sequence, seed: int = 0,
+                     n_requests: int = 0,
+                     workers: Optional[int] = None,
+                     processes: Optional[int] = None
+                     ) -> List[Dict[str, Any]]:
+    """:func:`run_fleet_cell` over trace x chaos x fleet size.
+
+    Cells are independent simulations, so they fan out over the sweep
+    runner — the ``fleet.cell`` kernel carries only names, the seed,
+    and the (tiny) shape tuple across the process boundary.  Cell
+    order is the nested product order (traces outermost), identical
+    on every execution path.
+    """
+    from repro.experiments.kernels import zoo_resolvable
+    from repro.experiments.parallel import KernelCall, default_processes
+    from repro.experiments.runner import run_sweep
+
+    points = [(trace_name, chaos_name, int(k))
+              for trace_name in trace_names
+              for chaos_name in chaos_names
+              for k in replica_counts]
+    resolved = default_processes() if processes is None else processes
+    if resolved > 0 and zoo_resolvable(estimator.spec,
+                                       estimator.system):
+        return run_sweep(
+            KernelCall("fleet.cell",
+                       (estimator.spec.name, estimator.system.name,
+                        estimator.config, tuple(shapes), seed,
+                        n_requests)),
+            points, workers=workers, processes=resolved)
+
+    def cell(point: Tuple[str, str, int]) -> Dict[str, Any]:
+        trace_name, chaos_name, k = point
+        return run_fleet_cell(estimator, trace_name, chaos_name, k,
+                              shapes=shapes, seed=seed,
+                              n_requests=n_requests)
+
+    return run_sweep(cell, points, workers=workers)

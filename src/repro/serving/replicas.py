@@ -454,6 +454,89 @@ class MultiReplicaSimulator:
                                cap=DEFAULT_SPAN_CAP)
 
 
+def fleet_size_summary(report: ScaleOutReport) -> dict:
+    """The compact, picklable cross-section of one fleet-size cell.
+
+    Used identically by the in-process path and the
+    ``replicas.fleet_size`` worker kernel, so both paths return the
+    same dict — including a sha256 fingerprint over the merged finish
+    times, the bit-identity witness the process-sweep tests compare.
+    """
+    import hashlib
+
+    fingerprint = hashlib.sha256(
+        np.ascontiguousarray(report.merged.finishes,
+                             dtype=np.float64).tobytes()).hexdigest()
+    return {
+        "n_replicas": report.n_replicas,
+        "n_served": report.n_served,
+        "p50_s": report.latency_percentile(0.50),
+        "p95_s": report.latency_percentile(0.95),
+        "p99_s": report.latency_percentile(0.99),
+        "mean_queue_delay_s": report.mean_queue_delay,
+        "makespan_s": report.makespan,
+        "throughput_tokens_per_s": report.throughput_tokens_per_s,
+        "utilization": report.utilization,
+        "fingerprint": fingerprint,
+    }
+
+
+def sweep_fleet_sizes(estimator: LiaEstimator,
+                      requests: Union[Sequence[InferenceRequest],
+                                      WorkloadVector],
+                      arrivals: Sequence[float],
+                      replica_counts: Sequence[int],
+                      dispatch: str = "round-robin",
+                      workers: Optional[int] = None,
+                      processes: Optional[int] = None) -> List[dict]:
+    """One :func:`fleet_size_summary` per fleet size, in input order.
+
+    Fleet sizes are independent simulations over the *same* workload
+    and trace, so they fan out over the sweep runner.  On the process
+    path the workload's code column and the arrival trace publish
+    once into ``multiprocessing.shared_memory`` and reattach zero-copy
+    in every worker (the ``replicas.fleet_size`` kernel); segments are
+    released as soon as the sweep returns.  Results are bit-identical
+    across thread, serial, and any ``processes`` count.
+    """
+    from repro.experiments.kernels import zoo_resolvable
+    from repro.experiments.parallel import (KernelCall,
+                                            default_processes,
+                                            publish_array,
+                                            publish_workload, release,
+                                            release_workload)
+    from repro.experiments.runner import run_sweep
+
+    workload = (requests if isinstance(requests, WorkloadVector)
+                else WorkloadVector.from_requests(requests))
+    trace = validate_arrivals(arrivals)
+    counts = [int(k) for k in replica_counts]
+    resolved = default_processes() if processes is None else processes
+    if resolved > 0 and zoo_resolvable(estimator.spec,
+                                       estimator.system):
+        shared = publish_workload(workload)
+        handle = publish_array(trace)
+        try:
+            summaries: List[dict] = run_sweep(
+                KernelCall("replicas.fleet_size",
+                           (estimator.spec.name, estimator.system.name,
+                            estimator.config, shared, handle,
+                            dispatch)),
+                counts, workers=workers, processes=resolved)
+        finally:
+            release_workload(shared)
+            release(handle)
+        return summaries
+
+    def cell(k: int) -> dict:
+        report = MultiReplicaSimulator(estimator, k,
+                                       dispatch=dispatch).run(
+                                           workload, trace)
+        return fleet_size_summary(report)
+
+    return run_sweep(cell, counts, workers=workers)
+
+
 def replicas_needed(estimator: LiaEstimator,
                     requests: Union[Sequence[InferenceRequest],
                                     WorkloadVector],

@@ -39,8 +39,8 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Deque, Dict, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 import numpy as np
 
@@ -164,14 +164,18 @@ class StepProfile:
     ``estimate(InferenceRequest(B, c, 1))`` from the LIA estimator, so
     the profile inherits the paper's batch-dependent CPU/GPU splits.
     Grid evaluation goes through :func:`run_sweep` (thread-parallel,
-    results in input order), keeping profiles bit-identical across
-    ``REPRO_SWEEP_WORKERS``.
+    results in input order; the ``scheduler.step`` kernel fans the
+    grid over the process pool when ``REPRO_SWEEP_PROCESSES`` asks for
+    it and the estimator rebuilds from the zoo by name), keeping
+    profiles bit-identical across ``REPRO_SWEEP_WORKERS`` and
+    ``REPRO_SWEEP_PROCESSES``.
     """
 
     def __init__(self, estimator: "LiaEstimator",
                  batch_sizes: Sequence[int],
                  context_lens: Sequence[int],
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 processes: Optional[int] = None) -> None:
         batches = sorted(set(int(b) for b in batch_sizes))
         contexts = sorted(set(int(c) for c in context_lens))
         if not batches or batches[0] < 1:
@@ -192,7 +196,16 @@ class StepProfile:
                                        output_len=1)
             return estimator.estimate(request).decode.time
 
-        values = run_sweep(decode_step, points, workers=workers)
+        from repro.experiments.kernels import zoo_resolvable
+        from repro.experiments.parallel import KernelCall
+
+        fn: Callable[[Tuple[int, int]], float] = decode_step
+        if zoo_resolvable(estimator.spec, estimator.system):
+            fn = KernelCall("scheduler.step",
+                            (estimator.spec.name, estimator.system.name,
+                             estimator.config))
+        values = run_sweep(fn, points, workers=workers,
+                           processes=processes)
         self._decode_grid = np.asarray(values, dtype=np.float64).reshape(
             len(batches), len(contexts))
         self._prefill_cache: Dict[Tuple[int, int], float] = {}
@@ -201,7 +214,8 @@ class StepProfile:
     def for_workload(cls, estimator: "LiaEstimator",
                      requests: Sequence[InferenceRequest],
                      scheduler_config: "SchedulerConfig",
-                     workers: Optional[int] = None) -> "StepProfile":
+                     workers: Optional[int] = None,
+                     processes: Optional[int] = None) -> "StepProfile":
         """Size the grid to what a run can actually reach.
 
         Batch axis: powers of two up to the largest possible aggregate
@@ -223,7 +237,8 @@ class StepProfile:
         ratio = (hi / lo) ** (1.0 / (n - 1)) if hi > lo else 1.0
         contexts = [int(round(lo * ratio ** i)) for i in range(n)]
         contexts.append(hi)
-        return cls(estimator, batches, contexts, workers=workers)
+        return cls(estimator, batches, contexts, workers=workers,
+                   processes=processes)
 
     @staticmethod
     def _interp(grid: List[int], position: float

@@ -26,9 +26,12 @@ class TestDefaultWorkers:
         monkeypatch.setenv(WORKERS_ENV, "3")
         assert default_workers() == 3
 
-    def test_env_zero_means_serial(self, monkeypatch):
+    def test_env_zero_passes_through(self, monkeypatch):
+        # 0 is the documented explicit-serial mode, not "clamp to 1":
+        # run_sweep(workers=0) must run every point on the caller's
+        # thread with no pool at all.
         monkeypatch.setenv(WORKERS_ENV, "0")
-        assert default_workers() == 1
+        assert default_workers() == 0
 
     def test_env_rejects_garbage(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "many")
@@ -80,6 +83,33 @@ class TestRunSweep:
     def test_negative_workers_rejected(self):
         with pytest.raises(ConfigurationError):
             run_sweep(lambda x: x, [1, 2], workers=-1)
+
+    def test_workers_zero_is_explicit_serial(self):
+        # No pool: every point runs on the calling thread, in order.
+        calling_thread = threading.get_ident()
+        seen = []
+
+        def fn(point):
+            seen.append((point, threading.get_ident()))
+            return point * 2
+
+        points = list(range(16))
+        assert run_sweep(fn, points, workers=0) == \
+            [p * 2 for p in points]
+        assert [p for p, _ in seen] == points
+        assert {tid for _, tid in seen} == {calling_thread}
+
+    def test_env_zero_forces_serial_everywhere(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        calling_thread = threading.get_ident()
+        tids = set()
+
+        def fn(point):
+            tids.add(threading.get_ident())
+            return point
+
+        assert run_sweep(fn, list(range(8))) == list(range(8))
+        assert tids == {calling_thread}
 
     def test_empty_points(self):
         assert run_sweep(lambda x: x, [], workers=4) == []

@@ -354,3 +354,29 @@ def test_validation(estimator):
         fleet.run(_workload(3), [0.0])
     with pytest.raises(ConfigurationError, match="at least one request"):
         fleet.run([], [])
+
+
+def test_sweep_fleet_grid_process_path_matches_serial(estimator):
+    from repro.serving.fleet import run_fleet_cell, sweep_fleet_grid
+
+    shapes = (InferenceRequest(1, 128, 16),
+              InferenceRequest(1, 256, 32))
+    kwargs = dict(shapes=shapes, seed=4, n_requests=120)
+    serial = sweep_fleet_grid(estimator, ["steady"],
+                              ["none", "replica-crash"], [1, 2],
+                              processes=0, **kwargs)
+    pooled = sweep_fleet_grid(estimator, ["steady"],
+                              ["none", "replica-crash"], [1, 2],
+                              processes=2, **kwargs)
+    assert serial == pooled
+    assert len(serial) == 4
+    # Cell order is the nested product order, and each cell matches a
+    # direct run_fleet_cell call.
+    assert [(c["trace"], c["chaos"], c["n_replicas"])
+            for c in serial] == [("steady", "none", 1),
+                                 ("steady", "none", 2),
+                                 ("steady", "replica-crash", 1),
+                                 ("steady", "replica-crash", 2)]
+    direct = run_fleet_cell(estimator, "steady", "replica-crash", 2,
+                            **kwargs)
+    assert serial[3] == direct

@@ -185,3 +185,39 @@ def test_replica_telemetry_gauges(estimator):
     assert gauge.value == 2.0
     tracks = telemetry.tracer.tracks()
     assert any(track.startswith("server[") for track in tracks)
+
+
+def test_sweep_fleet_sizes_process_path_matches_serial(estimator):
+    from repro.experiments.parallel import (published_segments,
+                                            shutdown_pools)
+    from repro.serving.replicas import sweep_fleet_sizes
+
+    workload = _workload(200)
+    arrivals = arrivals_poisson(200, 5.0, seed=2)
+    serial = sweep_fleet_sizes(estimator, workload, arrivals,
+                               [1, 2, 4], processes=0)
+    pooled = sweep_fleet_sizes(estimator, workload, arrivals,
+                               [1, 2, 4], processes=2)
+    assert serial == pooled
+    assert [s["n_replicas"] for s in serial] == [1, 2, 4]
+    assert all(s["fingerprint"] for s in serial)
+    # The sweep published its workload/trace segments and released
+    # them before returning — nothing may leak into later tests.
+    assert published_segments() == []
+
+
+def test_sweep_fleet_sizes_falls_back_off_zoo(spr_a100, eval_config):
+    # A hand-built spec cannot rebuild by name inside a worker; the
+    # sweep must quietly take the in-process path instead.
+    from dataclasses import replace
+
+    from repro.models.zoo import get_model
+    from repro.serving.replicas import sweep_fleet_sizes
+
+    spec = replace(get_model("opt-30b"), name="opt-30b-custom")
+    estimator = LiaEstimator(spec, spr_a100, eval_config)
+    workload = _workload(50)
+    arrivals = arrivals_poisson(50, 5.0, seed=3)
+    out = sweep_fleet_sizes(estimator, workload, arrivals, [1, 2],
+                            processes=2)
+    assert [s["n_replicas"] for s in out] == [1, 2]

@@ -387,3 +387,11 @@ def test_occupancy_timeseries_reflects_concurrency(estimator):
     series = timeseries_from_report(report, n_windows=32)
     assert int(series.arrived.sum()) == 200
     assert int(series.finished.sum()) == 200
+
+
+def test_step_profile_identical_across_process_counts(estimator):
+    serial = StepProfile(estimator, [1, 4, 16], [64, 256],
+                         processes=0)
+    pooled = StepProfile(estimator, [1, 4, 16], [64, 256],
+                         processes=2)
+    assert np.array_equal(serial._decode_grid, pooled._decode_grid)
